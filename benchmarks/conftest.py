@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+asserts its qualitative *shape* (who wins, by roughly what factor,
+where crossovers fall).  Absolute numbers come from a simulated
+substrate and are compared against the paper in EXPERIMENTS.md.
+
+Each experiment runs exactly once per benchmark (rounds=1): these are
+end-to-end system simulations, not microbenchmarks, and their runtimes
+are themselves the measurement.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

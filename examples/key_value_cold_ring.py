@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The cold ring problem, live (paper §5 / Figure 4).
+
+Runs the paper's running example — a memcached-style server behind a
+direct Ethernet IOchannel, driven by a memaslap-style client — in all
+three receive modes and prints per-interval throughput so you can watch
+dropping nearly deadlock while the backup ring tracks pinning.
+
+Run:  python examples/key_value_cold_ring.py
+"""
+
+from repro import Environment, Rng, RxMode, ethernet_testbed
+from repro.apps.framing import MessageFramer
+from repro.apps.kvstore import KvServer
+from repro.apps.memaslap import Memaslap
+from repro.experiments.config import scaled_tcp_params
+from repro.sim.units import KB, MB
+
+
+def run_mode(mode: RxMode, duration: float = 2.0) -> list:
+    MessageFramer.reset_registry()
+    env = Environment()
+    _, _, srv_user, cli_user = ethernet_testbed(
+        env, mode, ring_size=64, tcp_params=scaled_tcp_params()
+    )
+    KvServer(srv_user, capacity_bytes=8 * MB, item_value_size=1 * KB)
+    gen = Memaslap(cli_user, "server", "srv0", Rng(3), connections=8,
+                   n_keys=256, report_interval=0.25, think_time=0.001)
+    gen.start()
+    env.run(until=duration)
+    gen.stop()
+    return gen.tps.series.points()
+
+
+def main() -> None:
+    print("memcached startup throughput (ops/s per 0.25s interval);")
+    print("TCP timers are compressed 10x, so ~2s here is ~20s of the paper\n")
+    series = {mode.value: run_mode(mode) for mode in
+              (RxMode.DROP, RxMode.BACKUP, RxMode.PIN)}
+    print(f"{'time':>6}  {'drop':>8}  {'backup':>8}  {'pin':>8}")
+    for i, (t, _) in enumerate(series["pin"]):
+        row = [series[m][i][1] if i < len(series[m]) else 0.0
+               for m in ("drop", "backup", "pin")]
+        print(f"{t:6.2f}  {row[0]:8.0f}  {row[1]:8.0f}  {row[2]:8.0f}")
+    print("\ndrop: near-zero while the ring is cold (every packet lands on "
+          "an unmapped buffer and TCP backs off);")
+    print("backup: the IOprovider's pinned ring absorbs the faulting "
+          "packets, so throughput tracks pinning from the first interval.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Storage over RDMA: pinned communication buffers vs NPFs (paper §6.1).
+
+Stands up a tgt-style iSER target with a page cache and a fio-style
+initiator doing random reads, then compares the pinned-buffer
+configuration against the NPF one on a memory-constrained host: the
+pinned 'tgt' wastes a fixed communication-buffer region that the page
+cache badly needs.
+
+Run:  python examples/storage_server.py
+"""
+
+from repro import Environment, OutOfMemoryError, Rng, ib_pair
+from repro.apps.storage import Disk, FioTester, StorageTarget
+from repro.sim.units import GB, KB, MB
+
+
+def run_config(memory_mb: int, pinned: bool, ios: int = 800):
+    env = Environment()
+    target_host, initiator_host = ib_pair(env, memory_bytes=memory_mb * MB)
+    try:
+        target = StorageTarget(
+            target_host,
+            lun_bytes=48 * MB,            # the disk being served
+            block_size=512 * KB,
+            comm_region_bytes=16 * MB,    # tgt's static buffer area
+            pinned=pinned,
+            disk=Disk(seek_time=0.002),
+        )
+    except OutOfMemoryError:
+        return None
+    fio = FioTester(initiator_host, target, Rng(5), sessions=2)
+    done = fio.run(total_ios=ios)
+    env.run(env.any_of([done, env.timeout(600.0)]))
+    if fio.completed < ios:
+        return None
+    elapsed = done.value
+    return {
+        "bandwidth_mb_s": fio.bytes_read / elapsed / MB,
+        "cache_hit_rate": target.cache_hits / max(1, target.requests_served),
+        "comm_resident_mb": target.comm_resident_bytes / MB,
+    }
+
+
+def main() -> None:
+    print(f"{'memory':>8}  {'config':>8}  {'MB/s':>8}  {'cache-hit':>10}  "
+          f"{'comm-resident':>14}")
+    for memory_mb in (52, 56, 64, 96):
+        for pinned in (True, False):
+            label = "pinned" if pinned else "npf"
+            stats = run_config(memory_mb, pinned)
+            if stats is None:
+                print(f"{memory_mb:>6}MB  {label:>8}  {'FAIL':>8}")
+                continue
+            print(f"{memory_mb:>6}MB  {label:>8}  "
+                  f"{stats['bandwidth_mb_s']:8.0f}  "
+                  f"{stats['cache_hit_rate']:10.2f}  "
+                  f"{stats['comm_resident_mb']:12.1f}MB")
+    print("\npinned: the full 16MB communication region is resident whether "
+          "used or not, starving the page cache on small hosts (up to ~2x "
+          "slower); npf: only touched buffer pages are ever backed, the "
+          "page cache gets the rest, and bandwidth follows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro — Page Fault Support for Network Controllers (ASPLOS 2017).
+
+A full-system reproduction of Lesokhin et al.'s network page fault
+(NPF) design on a discrete-event simulated substrate:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.mem` — virtual memory (demand paging, swap, reclaim,
+  MMU notifiers, pinning);
+* :mod:`repro.iommu` — I/O page tables, IOTLB, ATS/PRI;
+* :mod:`repro.net` — links, switches, flow control;
+* :mod:`repro.nic` — Ethernet NIC with the Figure 6 backup ring,
+  InfiniBand NIC with RC queue pairs and RNR-NACK fault handling;
+* :mod:`repro.transport` — TCP (slow start, RTO, fast retransmit),
+  verbs, unreliable datagrams;
+* :mod:`repro.core` — the paper's contribution: ODP memory regions,
+  the NPF driver (fault + invalidation flows, batching, firmware
+  bypass), the IOprovider's backup-ring service, and the three pinning
+  baselines;
+* :mod:`repro.host` — testbed composition helpers;
+* :mod:`repro.apps` — the evaluation workloads (memcached/memaslap,
+  tgt/fio, MPI/IMB/beff, netperf/ib_send_bw streams);
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import Environment, Memory, Iommu, NpfDriver
+
+    env = Environment()
+    memory = Memory(64 * 1024 * 1024)
+    driver = NpfDriver(env, Iommu())
+    space = memory.create_space("app")
+    region = space.mmap(1 << 20)
+    mr = driver.register_odp(space, region)   # no pinning, ever
+"""
+
+from .core import (
+    FineGrainedPinner,
+    IoProvider,
+    NpfBreakdown,
+    NpfCosts,
+    NpfDriver,
+    NpfEvent,
+    NpfKind,
+    NpfLog,
+    NpfSide,
+    OdpMemoryRegion,
+    PinDownCache,
+    PinnedMemoryRegion,
+    StaticPinner,
+)
+from .host import (
+    EthernetHost,
+    IbHost,
+    IOUser,
+    connected_qp_pair,
+    ethernet_testbed,
+    ib_pair,
+)
+from .iommu import Iommu
+from .mem import AddressSpace, FaultKind, Memory, OutOfMemoryError, SwapDevice
+from .nic import BackupRing, EthernetNic, RxMode, RxRing
+from .nic.infiniband import InfiniBandNic, QueuePair
+from .sim import Environment, Rng
+from .transport import TcpParams, TcpStack
+from .transport.verbs import CompletionQueue, Opcode, RecvWr, SendWr, Wc, WcStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "Rng",
+    "Memory",
+    "AddressSpace",
+    "FaultKind",
+    "OutOfMemoryError",
+    "SwapDevice",
+    "Iommu",
+    "NpfDriver",
+    "NpfCosts",
+    "NpfBreakdown",
+    "NpfEvent",
+    "NpfKind",
+    "NpfLog",
+    "NpfSide",
+    "OdpMemoryRegion",
+    "PinnedMemoryRegion",
+    "StaticPinner",
+    "FineGrainedPinner",
+    "PinDownCache",
+    "IoProvider",
+    "EthernetNic",
+    "RxMode",
+    "RxRing",
+    "BackupRing",
+    "InfiniBandNic",
+    "QueuePair",
+    "CompletionQueue",
+    "Opcode",
+    "SendWr",
+    "RecvWr",
+    "Wc",
+    "WcStatus",
+    "TcpStack",
+    "TcpParams",
+    "EthernetHost",
+    "IbHost",
+    "IOUser",
+    "ethernet_testbed",
+    "ib_pair",
+    "connected_qp_pair",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Workload applications: key-value store, storage target, MPI, streams."""
+
+from .framing import MessageFramer
+from .kvstore import KvRequest, KvServer
+from .memaslap import Memaslap
+from .mpi import MODES, MpiWorld
+from .storage import Disk, FioTester, StorageTarget
+from .stream import EthernetStream, IbStream
+
+__all__ = [
+    "MessageFramer",
+    "KvRequest",
+    "KvServer",
+    "Memaslap",
+    "MODES",
+    "MpiWorld",
+    "Disk",
+    "FioTester",
+    "StorageTarget",
+    "EthernetStream",
+    "IbStream",
+]

@@ -1,0 +1,58 @@
+"""Application-level message framing over TCP byte streams.
+
+The simulation models byte *counts*, not contents, so length-prefixed
+framing cannot be parsed out of the stream.  Instead the sender records
+each message's (size, metadata) in a per-connection, per-direction
+queue; the receiver pops records as enough bytes accumulate.  This is
+purely a simulation convenience — it adds no bytes to the wire and no
+information the real protocol would not carry in-band.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..transport.tcp import TcpConnection
+
+__all__ = ["MessageFramer"]
+
+
+class MessageFramer:
+    """Message boundaries over a byte-counting TCP connection."""
+
+    # (conn_id, sender_is_initiator) -> queue of (size, meta)
+    _registry: Dict[Tuple[int, bool], Deque[Tuple[int, Any]]] = {}
+
+    def __init__(self, conn: TcpConnection,
+                 on_message: Callable[[Any], None]):
+        self.conn = conn
+        self.on_message = on_message
+        self._buffered = 0
+        conn.on_receive = self._on_bytes
+
+    # -- sending ------------------------------------------------------------
+    def send(self, size: int, meta: Any = None,
+             src_addr: Optional[int] = None) -> None:
+        """Send one framed message of ``size`` bytes."""
+        key = (self.conn.conn_id, self.conn.is_initiator)
+        self._registry.setdefault(key, deque()).append((size, meta))
+        self.conn.send(size, src_addr=src_addr)
+
+    # -- receiving ------------------------------------------------------------
+    def _incoming_key(self) -> Tuple[int, bool]:
+        # Messages we receive were framed by the peer (opposite role).
+        return (self.conn.conn_id, not self.conn.is_initiator)
+
+    def _on_bytes(self, conn: TcpConnection, n_bytes: int) -> None:
+        self._buffered += n_bytes
+        queue = self._registry.get(self._incoming_key())
+        while queue and queue[0][0] <= self._buffered:
+            size, meta = queue.popleft()
+            self._buffered -= size
+            self.on_message(meta)
+
+    @classmethod
+    def reset_registry(cls) -> None:
+        """Drop all framing state (test isolation)."""
+        cls._registry.clear()

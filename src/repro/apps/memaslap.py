@@ -1,0 +1,160 @@
+"""memaslap — the load generator driving :class:`~repro.apps.kvstore.KvServer`.
+
+Closed-loop clients over N TCP connections, issuing the paper's default
+mix (90 % get / 10 % set).  Keys are drawn uniformly from a configurable
+working set, which is what the Figure 7 experiment varies at runtime.
+Tracks per-interval transactions/sec and hits/sec, matching the paper's
+two reporting metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..host.host import IOUser
+from ..sim.engine import Environment
+from ..sim.rng import Rng
+from ..sim.stats import RateMeter
+from ..sim.units import KB
+from .framing import MessageFramer
+from .kvstore import GET_REQUEST_SIZE, KvRequest, SET_OVERHEAD
+
+__all__ = ["Memaslap"]
+
+
+class Memaslap:
+    """Closed-loop KV load generator."""
+
+    def __init__(
+        self,
+        iouser: IOUser,
+        server: str,
+        server_channel: str,
+        rng: Rng,
+        connections: int = 8,
+        get_ratio: float = 0.9,
+        value_size: int = 1 * KB,
+        n_keys: int = 1024,
+        report_interval: float = 1.0,
+        think_time: float = 0.0,
+        set_on_miss: bool = False,
+    ):
+        self.iouser = iouser
+        self.env: Environment = iouser.host.env
+        self.server = server
+        self.server_channel = server_channel
+        self.rng = rng
+        self.connections = connections
+        self.get_ratio = get_ratio
+        self.value_size = value_size
+        self.n_keys = n_keys
+        self.think_time = think_time
+        self.set_on_miss = set_on_miss
+        self.tps = RateMeter("tps", report_interval)
+        self.hps = RateMeter("hps", report_interval)
+        self.completed_ops = 0
+        self.completed_hits = 0
+        self.failed_connections = 0
+        self._running = False
+        self._framers: List[MessageFramer] = []
+        self.env.process(self._reporter(report_interval), name="memaslap-report")
+
+    # -- runtime knobs (Figure 7 changes these mid-run) ---------------------------
+    def set_working_set(self, n_keys: int) -> None:
+        self.n_keys = n_keys
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self, preload: bool = False, ops_limit: Optional[int] = None):
+        """Start all connections; returns an event firing when ``ops_limit``
+        operations have completed (or never, if unbounded)."""
+        self._running = True
+        self._ops_limit = ops_limit
+        self._done = self.env.event()
+        for i in range(self.connections):
+            self.env.process(
+                self._client(i, preload and i == 0), name=f"memaslap-{i}"
+            )
+        return self._done
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals ------------------------------------------------------------------
+    def _reporter(self, interval: float):
+        while True:
+            yield self.env.timeout(interval)
+            self.tps.flush(self.env.now)
+            self.hps.flush(self.env.now)
+
+    def _client(self, index: int, preload: bool):
+        conn = self.iouser.stack.connect(self.server, self.server_channel)
+        established = self.env.event()
+        conn.on_established = lambda c: established.succeed()
+        failed = {"flag": False}
+        response = {"event": None, "meta": None}
+
+        def on_fail(c):
+            failed["flag"] = True
+            self.failed_connections += 1
+            if not established.triggered:
+                established.succeed()
+            ev = response["event"]
+            if ev is not None and not ev.triggered:
+                ev.succeed()  # unblock the client loop so it can exit
+
+        conn.on_failed = on_fail
+        yield established
+        if failed["flag"]:
+            return
+
+        def on_message(meta):
+            response["meta"] = meta
+            ev = response["event"]
+            if ev is not None and not ev.triggered:
+                ev.succeed()
+
+        framer = MessageFramer(conn, on_message)
+        self._framers.append(framer)
+
+        if preload:
+            for key in range(self.n_keys):
+                if not self._running:
+                    return
+                yield from self._issue(framer, response, "set", key, failed)
+                if failed["flag"]:
+                    return
+
+        while self._running:
+            key = self.rng.randint(0, self.n_keys - 1)
+            op = "get" if self.rng.random() < self.get_ratio else "set"
+            yield from self._issue(framer, response, op, key, failed)
+            if failed["flag"]:
+                return
+            if self.think_time:
+                yield self.env.timeout(self.think_time)
+
+    def _issue(self, framer, response, op, key, failed):
+        response["event"] = self.env.event()
+        if op == "get":
+            framer.send(GET_REQUEST_SIZE, KvRequest("get", key, 0))
+        else:
+            framer.send(SET_OVERHEAD + self.value_size,
+                        KvRequest("set", key, self.value_size))
+        yield response["event"]
+        if failed["flag"]:
+            return
+        meta: KvRequest = response["meta"]
+        self.completed_ops += 1
+        self.tps.mark()
+        if meta is not None and meta.op == "hit":
+            self.completed_hits += 1
+            self.hps.mark()
+        elif (meta is not None and meta.op == "miss" and self.set_on_miss
+              and self._running):
+            # Read-through refill: repopulate the cache on a miss.
+            yield from self._issue(framer, response, "set", key, failed)
+        if (self._ops_limit is not None
+                and self.completed_ops >= self._ops_limit
+                and not self._done.triggered):
+            self._done.succeed(self.env.now)
+            self._running = False

@@ -1,0 +1,299 @@
+"""MPI middleware over InfiniBand verbs (paper §6.2).
+
+Implements the three registration strategies the paper compares:
+
+* ``copy``  — bounce buffers: data is copied into (and out of) small
+  pre-registered pinned staging buffers; no per-message registration,
+  but every byte crosses the memory bus twice more;
+* ``pin``   — a per-rank **pin-down cache** registers user buffers on
+  first use and keeps them pinned (the state-of-the-art heuristic the
+  paper's MPI backend uses);
+* ``npf``   — ODP: user buffers are DMA targets directly, page faults
+  resolve on first touch, nothing is ever pinned.
+
+Collectives: sendrecv (ring), bcast (binomial tree), alltoall (pairwise
+rounds) and allreduce (reduction forces CPU copies in every mode — the
+paper's explanation for why allreduce shows no difference).  IMB's
+``off_cache`` mode is modelled by rotating through several distinct
+buffers so the pin-down cache must register more than one buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pin_down_cache import PinDownCache
+from ..host.ib import IbHost
+from ..net.link import Link
+from ..sim.engine import Environment
+from ..sim.units import GB, Gbps, KB, MB, us
+from ..transport.verbs import Opcode, SendWr, WcStatus
+
+__all__ = ["MpiWorld", "MODES"]
+
+MODES = ("copy", "pin", "npf")
+
+
+class _Rank:
+    """Per-rank state: host, buffers, registration machinery."""
+
+    def __init__(self, world: "MpiWorld", index: int, host: IbHost):
+        self.world = world
+        self.index = index
+        self.host = host
+        self.space = host.memory.create_space(f"rank{index}")
+        n = world.n_buffers
+        size = world.max_message
+        self.send_region = self.space.mmap(n * size, name="send-bufs")
+        self.recv_region = self.space.mmap(n * size * world.n_ranks, name="recv-bufs")
+        if world.mode == "npf":
+            self.mr = host.driver.register_odp_implicit(self.space)
+        elif world.mode == "copy":
+            # Bounce buffers: one pinned staging area per rank.
+            bounce = self.space.mmap(world.bounce_bytes, name="bounce")
+            self.mr = host.driver.register_pinned(self.space, bounce)
+            self.bounce_region = bounce
+        else:  # pin
+            self.mr = None
+            self.pdc = PinDownCache(host.driver, world.pdc_capacity)
+        if self.mr is not None:
+            host.nic.register_mr(self.mr)
+        self._slot = 0
+
+    def acquire_pinned(self, addr: int, size: int) -> Tuple[object, float]:
+        """Pin-down-cache registration; newly pinned MRs become RDMA targets."""
+        known = len(self.pdc)
+        mr, latency = self.pdc.acquire(self.space, addr, size)
+        if len(self.pdc) != known:
+            self.host.nic.register_mr(mr)
+        return mr, latency
+
+    def send_buffer(self, iteration: int) -> int:
+        """Rotating send buffer (IMB off_cache)."""
+        slot = iteration % self.world.n_buffers
+        return self.send_region.base + slot * self.world.max_message
+
+    def recv_buffer(self, src_rank: int, iteration: int) -> int:
+        slot = iteration % self.world.n_buffers
+        return (self.recv_region.base
+                + (src_rank * self.world.n_buffers + slot) * self.world.max_message)
+
+
+class MpiWorld:
+    """N ranks, fully connected with RC QPs through one switch-less fabric.
+
+    (The paper's cluster runs through a SwitchX-2; with one process per
+    node and bandwidth-symmetric collectives, pairwise links model the
+    same contention behaviour at far lower simulation cost.)
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        n_ranks: int = 8,
+        mode: str = "npf",
+        rate_bps: float = 56 * Gbps,
+        max_message: int = 128 * KB,
+        n_buffers: int = 8,
+        pdc_capacity: int = 64 * MB,
+        bounce_bytes: int = 2 * MB,
+        memory_bytes: int = 2 * GB,
+        mpi_overhead: float = 15 * us,
+        copy_bandwidth: float = 8 * GB,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if n_ranks < 2:
+            raise ValueError("need at least two ranks")
+        self.env = env
+        self.mode = mode
+        self.n_ranks = n_ranks
+        self.max_message = max_message
+        self.n_buffers = n_buffers
+        self.pdc_capacity = pdc_capacity
+        self.bounce_bytes = bounce_bytes
+        self.mpi_overhead = mpi_overhead
+        self.copy_bandwidth = copy_bandwidth
+        self.ranks: List[_Rank] = []
+        for i in range(n_ranks):
+            host = IbHost(env, f"node{i}", memory_bytes, rate_bps)
+            self.ranks.append(_Rank(self, i, host))
+        # Pairwise links + QPs.
+        self._qps: Dict[Tuple[int, int], object] = {}
+        for i in range(n_ranks):
+            for j in range(i + 1, n_ranks):
+                self._wire(i, j, rate_bps)
+        self.registration_time = 0.0  # aggregate pin/unpin latency charged
+        self.copy_time = 0.0          # aggregate bounce-copy latency charged
+
+    def _wire(self, i: int, j: int, rate_bps: float) -> None:
+        a, b = self.ranks[i].host, self.ranks[j].host
+        # Dedicated per-pair NICs would be wrong — but each host NIC has
+        # one link; for a fully connected world we give each *pair* its
+        # own link pair attached lazily per transmission.  Simpler: one
+        # shared link per host was attached at first wire; subsequent
+        # pairs reuse it via a tiny demux.
+        if a.nic.link is None:
+            la = Link(self.env, rate_bps, 1e-6, name=f"{a.name}-tx")
+            la.connect(self._fabric_rx)
+            a.nic.attach_link(la)
+        if b.nic.link is None:
+            lb = Link(self.env, rate_bps, 1e-6, name=f"{b.name}-tx")
+            lb.connect(self._fabric_rx)
+            b.nic.attach_link(lb)
+        qa = a.nic.create_qp(max_outstanding=16)
+        qb = b.nic.create_qp(max_outstanding=16)
+        qa.connect(qb)
+        self._qps[(i, j)] = qa
+        self._qps[(j, i)] = qb
+        self._qp_owner = getattr(self, "_qp_owner", {})
+        self._qp_owner[qa.qp_id] = i
+        self._qp_owner[qb.qp_id] = j
+
+    def _fabric_rx(self, packet) -> None:
+        """Ideal non-blocking switch: route by the destination QP."""
+        dst_rank = self._qp_owner.get(packet.payload.qp_id)
+        if dst_rank is None:
+            return
+        self.ranks[dst_rank].host.nic.receive(packet)
+
+    def qp(self, src: int, dst: int):
+        return self._qps[(src, dst)]
+
+    # -- point-to-point ------------------------------------------------------------
+    def transfer(self, src: int, dst: int, size: int, iteration: int = 0):
+        """Generator: move ``size`` bytes rank src -> dst; returns when the
+        data is usable at the receiver (includes copy-out in copy mode)."""
+        sender = self.ranks[src]
+        receiver = self.ranks[dst]
+        send_addr = sender.send_buffer(iteration)
+        recv_addr = receiver.recv_buffer(src, iteration)
+        yield self.env.timeout(self.mpi_overhead)
+
+        send_mr = sender.mr
+        if self.mode == "copy":
+            copy_in = size / self.copy_bandwidth
+            self.copy_time += copy_in
+            yield self.env.timeout(copy_in)
+            send_addr = sender.bounce_region.base
+            recv_addr = receiver.bounce_region.base
+        elif self.mode == "pin":
+            send_mr, latency = sender.acquire_pinned(send_addr, size)
+            _, rlatency = receiver.acquire_pinned(recv_addr, size)
+            self.registration_time += latency + rlatency
+            if latency + rlatency:
+                yield self.env.timeout(latency + rlatency)
+        else:  # npf: CPU produces the data, touching the pages (first use
+            # costs ordinary CPU minor faults, not NPFs; the send-side NPF
+            # path triggers only if the NIC reaches untouched pages).
+            faults = sender.space.touch_range(send_addr, size, write=True)
+            cost = sender.space.fault_cost(faults)
+            if cost:
+                yield self.env.timeout(cost)
+
+        qp = self.qp(src, dst)
+        qp.post_send(SendWr(Opcode.RDMA_WRITE, size, local_addr=send_addr,
+                            mr=send_mr, remote_addr=recv_addr))
+        wc = yield qp.send_cq.wait()
+        if wc.status is not WcStatus.SUCCESS:
+            raise RuntimeError(f"transfer failed: {wc.status}")
+
+        if self.mode == "copy":
+            copy_out = size / self.copy_bandwidth
+            self.copy_time += copy_out
+            yield self.env.timeout(copy_out)
+        elif self.mode == "pin":
+            sender.pdc.release(sender.space, send_addr, size)
+            receiver.pdc.release(receiver.space, recv_addr, size)
+        return self.env.now
+
+    # -- collectives -----------------------------------------------------------------
+    def _run_all(self, generators) -> object:
+        """Barrier over one process per rank."""
+        processes = [self.env.process(g) for g in generators]
+        return self.env.all_of(processes)
+
+    def sendrecv(self, size: int, iterations: int = 10):
+        """IMB sendrecv: ring exchange (everyone sends and receives)."""
+        def rank_proc(r):
+            for it in range(iterations):
+                yield self.env.process(
+                    self.transfer(r, (r + 1) % self.n_ranks, size, it)
+                )
+        yield self._run_all(rank_proc(r) for r in range(self.n_ranks))
+        return self.env.now
+
+    def bcast(self, size: int, iterations: int = 10, root: int = 0):
+        """Binomial-tree broadcast from ``root``."""
+        def round_pairs() -> List[Tuple[int, int]]:
+            pairs = []
+            span = 1
+            while span < self.n_ranks:
+                for r in range(span):
+                    peer = r + span
+                    if peer < self.n_ranks:
+                        pairs.append((r, peer))
+                span *= 2
+            return pairs
+
+        for it in range(iterations):
+            span = 1
+            while span < self.n_ranks:
+                sends = []
+                for r in range(span):
+                    peer = r + span
+                    if peer < self.n_ranks:
+                        sends.append(self.transfer(r, peer, size, it))
+                span *= 2
+                if sends:
+                    yield self._run_all(sends)
+        return self.env.now
+
+    def alltoall(self, size: int, iterations: int = 10):
+        """Pairwise-rounds all-to-all."""
+        for it in range(iterations):
+            for round_ in range(1, self.n_ranks):
+                sends = []
+                for r in range(self.n_ranks):
+                    peer = r ^ round_ if (r ^ round_) < self.n_ranks else None
+                    if peer is not None and peer != r:
+                        sends.append(self.transfer(r, peer, size, it))
+                yield self._run_all(sends)
+        return self.env.now
+
+    def allreduce(self, size: int, iterations: int = 10):
+        """Reduce + broadcast; the reduction's CPU pass copies data into
+        the cache in every mode, erasing zero-copy's advantage (§6.2)."""
+        for it in range(iterations):
+            span = 1
+            while span < self.n_ranks:
+                sends = []
+                for r in range(0, self.n_ranks - span, 2 * span):
+                    sends.append(self._reduced_transfer(r + span, r, size, it))
+                span *= 2
+                if sends:
+                    yield self._run_all(sends)
+            yield from self.bcast(size, iterations=1)
+        return self.env.now
+
+    def _reduced_transfer(self, src: int, dst: int, size: int, it: int):
+        yield self.env.process(self.transfer(src, dst, size, it))
+        # CPU reduction at the receiver: touches every byte.
+        yield self.env.timeout(2 * size / self.copy_bandwidth)
+
+    # -- beff ------------------------------------------------------------------------
+    def beff(self, sizes: Optional[List[int]] = None, iterations: int = 4):
+        """Effective-bandwidth benchmark: mixed sizes and patterns.
+
+        Returns aggregate MB/s across the mix, the paper's Table 6 metric.
+        """
+        sizes = sizes or [4 * KB, 32 * KB, 128 * KB]
+        start = self.env.now
+        total_bytes = 0
+        for size in sizes:
+            yield from self.sendrecv(size, iterations)
+            total_bytes += size * iterations * self.n_ranks
+            yield from self.alltoall(size, max(1, iterations // 2))
+            total_bytes += size * max(1, iterations // 2) * self.n_ranks * (self.n_ranks - 1)
+        elapsed = self.env.now - start
+        return (total_bytes / MB) / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,227 @@
+"""tgt — an iSER-style storage target over InfiniBand RDMA (paper §6.1).
+
+The target exposes one LUN backed by a simulated disk.  Reads are served
+through the OS **page cache** (a demand-paged region of the target's
+address space: a block is "cached" when its pages are resident), and the
+data travels to the initiator by RDMA WRITE from a **communication
+buffer** region.
+
+The paper's point, reproduced here: tgt statically allocates a large
+communication-buffer area (default 1 GB) and a fixed 512 KB chunk per
+transaction regardless of I/O size.
+
+* **pinned mode** — the whole comm region is pinned at startup; it can
+  fail to start on small-memory hosts, and every pinned byte is memory
+  the page cache cannot use (Figure 8(a)'s gap, up to 1.9x).
+* **NPF mode** — the comm region is an ODP MR; only chunks (and only
+  the *used* part of each chunk) ever get backed by frames, and the OS
+  may evict them under pressure (Figure 8(b)'s resident-memory gap).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.regions import MemoryRegion
+from ..host.ib import IbHost
+from ..mem.memory import OutOfMemoryError
+from ..nic.infiniband import QueuePair
+from ..sim.engine import Environment
+from ..sim.rng import Rng
+from ..sim.units import GB, KB, MB, ms
+from ..transport.verbs import Opcode, SendWr, WcStatus
+
+__all__ = ["Disk", "StorageTarget", "FioTester"]
+
+
+class Disk:
+    """A high-performance hard drive: seek + sequential transfer."""
+
+    def __init__(self, seek_time: float = 6 * ms,
+                 bandwidth_bytes_per_sec: float = 180 * MB):
+        if seek_time < 0 or bandwidth_bytes_per_sec <= 0:
+            raise ValueError("invalid disk parameters")
+        self.seek_time = seek_time
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.reads = 0
+
+    def read_latency(self, size_bytes: int) -> float:
+        self.reads += 1
+        return self.seek_time + size_bytes / self.bandwidth
+
+
+class StorageTarget:
+    """The tgt daemon: one LUN, a page cache and communication buffers."""
+
+    def __init__(
+        self,
+        host: IbHost,
+        lun_bytes: int,
+        block_size: int,
+        comm_region_bytes: int = 1 * GB,
+        chunk_size: int = 512 * KB,
+        pinned: bool = False,
+        disk: Optional[Disk] = None,
+        cpu_per_request: float = 4e-6,
+    ):
+        if lun_bytes % block_size:
+            raise ValueError("LUN size must be a multiple of the block size")
+        self.host = host
+        self.env: Environment = host.env
+        self.lun_bytes = lun_bytes
+        self.block_size = block_size
+        self.n_blocks = lun_bytes // block_size
+        self.chunk_size = chunk_size
+        self.pinned = pinned
+        self.disk = disk or Disk()
+        self.cpu_per_request = cpu_per_request
+
+        self.space = host.memory.create_space("tgt")
+        # Page cache: block i cached <=> its pages are resident.  The pages
+        # are file-backed (the LUN itself is the backing store), so the OS
+        # drops them for free under pressure and we re-read from disk.
+        self.cache_region = self.space.mmap(lun_bytes, name="page-cache")
+        self.space.mark_discardable(self.cache_region)
+        # Communication buffers: fixed-size chunks.  tgt dedicates a set of
+        # chunks to each iSER session, so its comm-buffer footprint grows
+        # with the number of initiators (Figure 8(b)).
+        self.comm_region = self.space.mmap(comm_region_bytes, name="comm-buffers")
+        self.n_chunks = comm_region_bytes // chunk_size
+        self.chunks_per_session = 4
+        self._session_counters: dict = {}
+        if pinned:
+            # May raise OutOfMemoryError: the paper's "fails to load" case.
+            self.mr: MemoryRegion = host.driver.register_pinned(
+                self.space, self.comm_region
+            )
+        else:
+            self.mr = host.driver.register_odp(self.space, self.comm_region)
+        host.nic.register_mr(self.mr)
+        self.requests_served = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        """The tgt process's resident memory (Figure 8(b)'s metric)."""
+        return self.space.resident_bytes
+
+    @property
+    def comm_resident_bytes(self) -> int:
+        """Resident bytes of the communication-buffer region only."""
+        page = self.host.memory.page_size
+        return sum(
+            page
+            for vpn in self.comm_region.vpns()
+            if self.space.is_present(vpn)
+        )
+
+    def _block_cached(self, block: int) -> bool:
+        addr = self.cache_region.base + block * self.block_size
+        first = addr >> 12
+        n_pages = max(1, self.block_size >> 12)
+        return all(self.space.is_present(first + i) for i in range(n_pages))
+
+    # -- request path ------------------------------------------------------------
+    def serve_read(self, qp: QueuePair, block: int, io_size: int,
+                   initiator_addr: int, session: int = 0):
+        """Generator: serve one read of ``io_size`` bytes from ``block``."""
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(f"block {block} out of range")
+        if io_size > self.chunk_size:
+            raise ValueError("I/O larger than the per-transaction chunk")
+        yield self.env.timeout(self.cpu_per_request)
+
+        # 1. Page-cache lookup; miss goes to disk.
+        cache_addr = self.cache_region.base + block * self.block_size
+        if self._block_cached(block):
+            self.cache_hits += 1
+            faults = self.space.touch_range(cache_addr, self.block_size)
+        else:
+            self.cache_misses += 1
+            yield self.env.timeout(self.disk.read_latency(self.block_size))
+            faults = self.space.touch_range(cache_addr, self.block_size, write=True)
+        cost = self.space.fault_cost(faults)
+        if cost:
+            yield self.env.timeout(cost)
+
+        # 2. Copy into a fixed 512KB transaction chunk (tgt behaviour:
+        # chunk allocated regardless of actual I/O size; only io_size of
+        # it is ever written).
+        counter = self._session_counters.get(session, 0)
+        self._session_counters[session] = counter + 1
+        chunk = (session * self.chunks_per_session
+                 + counter % self.chunks_per_session) % self.n_chunks
+        chunk_addr = self.comm_region.base + chunk * self.chunk_size
+        faults = self.space.touch_range(chunk_addr, io_size, write=True)
+        cost = self.space.fault_cost(faults)
+        copy_time = io_size / self.host.driver.costs.memcpy_bandwidth
+        yield self.env.timeout(cost + copy_time)
+
+        # 3. RDMA WRITE the payload to the initiator.
+        wr = SendWr(Opcode.RDMA_WRITE, io_size, local_addr=chunk_addr,
+                    mr=self.mr, remote_addr=initiator_addr)
+        qp.post_send(wr)
+        wc = yield qp.send_cq.wait()
+        self.requests_served += 1
+        return wc
+
+
+class FioTester:
+    """fio — random-read workload against a :class:`StorageTarget`."""
+
+    def __init__(
+        self,
+        host: IbHost,
+        target: StorageTarget,
+        rng: Rng,
+        io_size: Optional[int] = None,
+        sessions: int = 1,
+    ):
+        self.host = host
+        self.target = target
+        self.rng = rng
+        self.io_size = io_size if io_size is not None else target.block_size
+        self.sessions = sessions
+        self.space = host.memory.create_space("fio")
+        self.buffers = self.space.mmap(sessions * target.chunk_size, name="fio-buf")
+        self.mr = host.driver.register_pinned(self.space, self.buffers)
+        host.nic.register_mr(self.mr)
+        # One iSER session = one RC connection (target-side QP does the
+        # RDMA WRITEs; the initiator side just completes them).
+        self._qps = []
+        for _ in range(sessions):
+            target_qp = target.host.nic.create_qp()
+            initiator_qp = host.nic.create_qp()
+            target_qp.connect(initiator_qp)
+            self._qps.append(target_qp)
+        self.completed = 0
+        self.bytes_read = 0
+
+    def run(self, total_ios: int):
+        """Event firing when ``total_ios`` random reads complete."""
+        done = self.host.env.event()
+        per_session = max(1, total_ios // self.sessions)
+        state = {"remaining": self.sessions}
+        for s in range(self.sessions):
+            self.host.env.process(
+                self._session(s, per_session, done, state), name=f"fio-{s}"
+            )
+        return done
+
+    def _session(self, index: int, n_ios: int, done, state):
+        buf = self.buffers.base + index * self.target.chunk_size
+        qp = self._qps[index]
+        for _ in range(n_ios):
+            block = self.rng.randint(0, self.target.n_blocks - 1)
+            wc = yield self.host.env.process(
+                self.target.serve_read(qp, block, self.io_size, buf,
+                                       session=index)
+            )
+            if wc is not None and wc.status is WcStatus.SUCCESS:
+                self.completed += 1
+                self.bytes_read += self.io_size
+        state["remaining"] -= 1
+        if state["remaining"] == 0 and not done.triggered:
+            done.succeed(self.host.env.now)

@@ -1,0 +1,188 @@
+"""Stream benchmarks with synthetic rNPF injection (paper §6.4).
+
+* :class:`EthernetStream` — Netperf-TCP-stream-like: the sender pushes
+  64 KB application messages over one TCP connection; the receiver's
+  channel injects rNPFs at a configured frequency (faults per received
+  byte).  Both benchmarks pre-fault the receive ring at startup, so the
+  cold-ring effect is excluded and only steady-state fault handling is
+  measured.
+* :class:`IbStream` — ib_send_bw-like: a stream of RC SENDs with the
+  same injection model on the receiving QP.
+"""
+
+from __future__ import annotations
+
+from ..host.host import IOUser
+from ..host.ib import IbHost
+from ..nic.infiniband import QueuePair
+from ..sim.engine import Environment
+from ..sim.rng import Rng
+from ..sim.units import KB, MB
+from ..transport.verbs import Opcode, RecvWr, SendWr
+
+__all__ = ["EthernetStream", "IbStream"]
+
+
+class EthernetStream:
+    """One-way TCP stream between two IOusers with receive-side injection."""
+
+    def __init__(
+        self,
+        sender: IOUser,
+        receiver: IOUser,
+        receiver_host_name: str,
+        rng: Rng,
+        fault_frequency: float = 0.0,
+        fault_kind: str = "minor",
+        message_size: int = 64 * KB,
+    ):
+        self.sender = sender
+        self.receiver = receiver
+        self.env: Environment = sender.host.env
+        self.rng = rng
+        self.message_size = message_size
+        self.received_bytes = 0
+        if fault_frequency > 0:
+            per_packet = min(1.0, fault_frequency * 1500)
+
+            def inject(packet):
+                if packet.kind == "tcp" and getattr(packet.payload, "length", 0) > 0:
+                    if self.rng.random() < per_packet:
+                        return fault_kind
+                return None
+
+            receiver.channel.inject_rnpf = inject
+        self._receiver_name = receiver_host_name
+
+    def prefault_ring(self):
+        """Warm the receiver's ring (the paper pre-faults it at startup)."""
+        mr = self.receiver.mr
+        pool = self.receiver.rx_pool
+        if hasattr(mr, "unmapped_vpns"):
+            yield self.env.process(
+                self.receiver.host.driver.prefault(mr, pool.base, pool.size)
+            )
+
+    def run(self, total_bytes: int = 16 * MB, timeout: float = 300.0) -> float:
+        """Blocking run; returns achieved throughput in bits/sec."""
+        done = self.env.event()
+
+        def accept(conn):
+            def on_rx(c, n):
+                self.received_bytes += n
+                if self.received_bytes >= total_bytes and not done.triggered:
+                    done.succeed(self.env.now)
+            conn.on_receive = on_rx
+
+        self.receiver.stack.listen(accept)
+        self.env.run(self.env.process(self.prefault_ring()))
+        start = self.env.now
+        conn = self.sender.stack.connect(self._receiver_name,
+                                         self.receiver.channel.name)
+
+        def feed(c):
+            # Keep a bounded amount queued; TCP paces the rest.
+            c.send(total_bytes)
+
+        conn.on_established = feed
+        conn.on_failed = lambda c: None if done.triggered else done.succeed(self.env.now)
+        self.env.run(until=min_event(self.env, done, start + timeout))
+        elapsed = max(self.env.now - start, 1e-9)
+        return (self.received_bytes * 8) / elapsed
+
+
+def min_event(env: Environment, event, deadline: float):
+    """Run helper: the event, or a deadline timeout, whichever first."""
+    return env.any_of([event, env.timeout(max(0.0, deadline - env.now))])
+
+
+class IbStream:
+    """ib_send_bw: a unidirectional stream of RC SENDs."""
+
+    def __init__(
+        self,
+        sender_host: IbHost,
+        receiver_host: IbHost,
+        rng: Rng,
+        fault_frequency: float = 0.0,
+        fault_kind: str = "minor",
+        message_size: int = 64 * KB,
+        ring_depth: int = 64,
+        odp: bool = False,
+    ):
+        self.env = sender_host.env
+        self.sender_host = sender_host
+        self.receiver_host = receiver_host
+        self.rng = rng
+        self.message_size = message_size
+        self.ring_depth = ring_depth
+
+        self.send_qp: QueuePair = sender_host.nic.create_qp(max_outstanding=16)
+        self.recv_qp: QueuePair = receiver_host.nic.create_qp(max_outstanding=16)
+        self.send_qp.connect(self.recv_qp)
+
+        sspace = sender_host.memory.create_space("ibsb-send")
+        sregion = sspace.mmap(message_size)
+        self.send_mr = sender_host.driver.register_pinned(sspace, sregion)
+        self.send_addr = sregion.base
+        rspace = receiver_host.memory.create_space("ibsb-recv")
+        rregion = rspace.mmap(ring_depth * message_size)
+        if odp:
+            self.recv_mr = receiver_host.driver.register_odp(rspace, rregion)
+        else:
+            self.recv_mr = receiver_host.driver.register_pinned(rspace, rregion)
+        receiver_host.nic.register_mr(self.recv_mr)
+        self.recv_base = rregion.base
+
+        if fault_frequency > 0:
+            per_message = min(1.0, fault_frequency * message_size)
+
+            def inject(message):
+                if self.rng.random() < per_message:
+                    return fault_kind
+                return None
+
+            self.recv_qp.inject_rnpf = inject
+
+    def run(self, n_messages: int = 1000, timeout: float = 600.0) -> float:
+        """Blocking run; returns achieved throughput in bits/sec."""
+        env = self.env
+        done = env.event()
+
+        def receiver():
+            # Keep the RQ replenished (ib_send_bw pre-posts and reposts).
+            for i in range(self.ring_depth):
+                self.recv_qp.post_recv(
+                    RecvWr(self.recv_base + i * self.message_size,
+                           self.message_size, mr=self.recv_mr)
+                )
+            received = 0
+            while received < n_messages:
+                yield self.recv_qp.recv_cq.wait()
+                received += 1
+                slot = received % self.ring_depth
+                self.recv_qp.post_recv(
+                    RecvWr(self.recv_base + slot * self.message_size,
+                           self.message_size, mr=self.recv_mr)
+                )
+            if not done.triggered:
+                done.succeed(env.now)
+
+        def sender():
+            # Post everything; the QP's outstanding-WR window paces the wire.
+            for _ in range(n_messages):
+                self.send_qp.post_send(
+                    SendWr(Opcode.SEND, self.message_size,
+                           local_addr=self.send_addr, mr=self.send_mr)
+                )
+            for _ in range(n_messages):
+                yield self.send_qp.send_cq.wait()
+
+        start = env.now
+        env.process(receiver(), name="ibsb-rx")
+        env.process(sender(), name="ibsb-tx")
+        env.run(until=min_event(env, done, start + timeout))
+        elapsed = max(env.now - start, 1e-9)
+        return (n_messages * self.message_size * 8) / elapsed if done.triggered else (
+            0.0
+        )

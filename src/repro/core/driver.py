@@ -1,0 +1,247 @@
+"""The NPF driver — the IOprovider side of the paper's Figure 2 flows.
+
+``NpfDriver.service_fault`` is the fault flow (steps 1–4): interrupt,
+OS fault-in (minor or major), batched I/O page-table update, resume.
+``NpfDriver.invalidate`` is the invalidation flow (steps a–d), invoked
+from MMU-notifier context when the OS evicts or unmaps a page.
+
+The three §4 optimizations are all here and individually switchable for
+the ablation benchmarks:
+
+* **batching** (`batch_prefault=True`) — on a fault, pre-fault *all*
+  unmapped pages of the triggering work request in one go, instead of
+  ATS/PRI's one-page-per-request;
+* **concurrency** (`concurrent_fault_classes`) — one outstanding fault
+  per (channel, side) class, four classes per IOchannel;
+* **firmware bypass** (`firmware_bypass=True`) — a fault raised while a
+  same-class fault is in flight is not re-reported: it waits for the
+  in-flight resolution and pays only the fast resume path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..iommu.iommu import Iommu
+from ..mem.memory import AddressSpace, FaultKind, Region
+from ..sim.engine import Environment
+from ..sim.resources import Resource
+from .costs import NpfBreakdown, NpfCosts
+from .npf import InvalidationEvent, NpfEvent, NpfKind, NpfLog, NpfSide
+from .regions import MemoryRegion, OdpMemoryRegion, PinnedMemoryRegion
+
+__all__ = ["NpfDriver"]
+
+
+class NpfDriver:
+    """Services NPFs and invalidations for every ODP MR of one host."""
+
+    def __init__(
+        self,
+        env: Environment,
+        iommu: Iommu,
+        costs: Optional[NpfCosts] = None,
+        log: Optional[NpfLog] = None,
+        batch_prefault: bool = True,
+        firmware_bypass: bool = True,
+        concurrent_fault_classes: bool = True,
+    ):
+        self.env = env
+        self.iommu = iommu
+        self.costs = costs or NpfCosts()
+        self.log = log or NpfLog()
+        self.batch_prefault = batch_prefault
+        self.firmware_bypass = firmware_bypass
+        self.concurrent_fault_classes = concurrent_fault_classes
+        # One in-flight fault per (channel, side) class; a single shared
+        # slot per channel when class concurrency is disabled.
+        self._slots: Dict[Tuple[str, object], Resource] = {}
+
+    # -- MR factories ----------------------------------------------------------
+    def register_odp(self, space: AddressSpace, region: Region, domain=None) -> OdpMemoryRegion:
+        """Create an ODP MR over ``region`` (no pinning, lazy mapping)."""
+        domain = domain or self.iommu.create_domain()
+        return OdpMemoryRegion(space, region, self.iommu, domain, self)
+
+    def register_odp_implicit(self, space: AddressSpace, domain=None) -> OdpMemoryRegion:
+        """ODP MR covering the whole address space (mlx5's implicit ODP).
+
+        This is what gives IOusers the paper's headline programming model:
+        every virtual address is a valid DMA target, no registration
+        bookkeeping at all.
+        """
+        region = Region(base=0, size=1 << 47, name="implicit-odp")
+        domain = domain or self.iommu.create_domain()
+        return OdpMemoryRegion(space, region, self.iommu, domain, self)
+
+    def register_pinned(self, space: AddressSpace, region: Region, domain=None) -> PinnedMemoryRegion:
+        """Create a classic pinned MR (the paper's baseline)."""
+        domain = domain or self.iommu.create_domain()
+        return PinnedMemoryRegion(space, region, self.iommu, domain, self.costs)
+
+    # -- fault flow (Figure 2, left) ----------------------------------------------
+    def _slot_for(self, channel: str, side: NpfSide) -> Resource:
+        key = (channel, side) if self.concurrent_fault_classes else (channel, None)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = Resource(self.env, 1)
+            self._slots[key] = slot
+        return slot
+
+    def service_fault(
+        self,
+        mr: MemoryRegion,
+        vpn: int,
+        n_pages: int = 1,
+        side: NpfSide = NpfSide.RECEIVE,
+        channel: str = "",
+    ):
+        """Generator: the full NPF service flow; returns the :class:`NpfEvent`.
+
+        ``n_pages`` is the extent of the triggering work request starting
+        at ``vpn``; with batching enabled, every still-unmapped page of
+        that extent is resolved under this single fault.
+        """
+        slot = self._slot_for(channel, side)
+        bypassed = self.firmware_bypass and not slot.try_acquire()
+        if bypassed:
+            # Same-class fault already in flight: the firmware handles the
+            # new fault without re-reporting it (§4's bitmap bypass).  Wait
+            # for the slot, then check what remains to be mapped.
+            yield slot.acquire()
+        elif not self.firmware_bypass and not slot.try_acquire():
+            yield slot.acquire()
+        try:
+            event = yield from self._resolve(mr, vpn, n_pages, side, channel, bypassed)
+        finally:
+            slot.release()
+        return event
+
+    def _resolve(
+        self,
+        mr: MemoryRegion,
+        vpn: int,
+        n_pages: int,
+        side: NpfSide,
+        channel: str,
+        bypassed: bool,
+    ):
+        if isinstance(mr, OdpMemoryRegion):
+            if self.batch_prefault:
+                pages = mr.unmapped_vpns(vpn, n_pages)
+            else:
+                pages = mr.unmapped_vpns(vpn, 1)
+        else:
+            pages = []
+
+        if not pages:
+            # Resolved concurrently.  With the firmware-bypass bitmap the
+            # fault was never re-reported, so only the fast hardware resume
+            # is charged; without it, the firmware re-raises the interrupt
+            # and the driver discovers there is nothing to do.
+            resume = self.costs._jitter(self.costs.resume)
+            if self.firmware_bypass:
+                interrupt = 0.0
+                driver_time = 0.0
+            else:
+                interrupt = self.costs._jitter(self.costs.interrupt)
+                driver_time = self.costs.driver_base
+            yield self.env.timeout(
+                interrupt + self.costs.interrupt_dispatch + driver_time + resume
+            )
+            breakdown = NpfBreakdown(
+                trigger_interrupt=interrupt, driver=driver_time,
+                update_pt=0.0, resume=resume,
+            )
+            event = NpfEvent(self.env.now, side, NpfKind.MINOR, 0, breakdown, channel)
+            self.log.record_npf(event)
+            return event
+
+        # (1)-(2): fault detected, firmware raises the NPF interrupt.
+        interrupt = 0.0 if bypassed else self.costs._jitter(self.costs.interrupt)
+        yield self.env.timeout(interrupt + self.costs.interrupt_dispatch)
+
+        # (3): the driver queries the OS; pages get allocated / swapped in.
+        # The per-page CPU trap cost is *not* charged here: the driver
+        # resolves the whole batch in one pass (that is what os_per_page
+        # models), so only disk reads and reclaim writebacks remain.
+        mem_minor = mr.space.memory.costs.minor_fault
+        faults = [mr.space.touch_page(v) for v in pages]
+        swap_latency = 0.0
+        evict_latency = 0.0
+        for f in faults:
+            extra = max(0.0, f.latency - mem_minor)
+            if f.kind is FaultKind.MAJOR:
+                swap_latency += extra
+            else:
+                evict_latency += extra
+        driver_time = (
+            self.costs.driver_base + len(pages) * self.costs.os_per_page + evict_latency
+        )
+        yield self.env.timeout(driver_time + swap_latency)
+
+        # (4): batched I/O page-table update + firmware resume.
+        entries = {}
+        for v in pages:
+            frame = mr.space.translate(v)
+            if frame is not None:
+                entries[v] = frame
+        self.iommu.map_batch(mr.domain.domain_id, entries)
+        update_pt = (
+            self.costs._jitter(self.costs.pt_update_base)
+            + len(pages) * self.costs.pt_update_per_page
+        )
+        yield self.env.timeout(update_pt)
+        resume = self.costs._jitter(self.costs.resume)
+        yield self.env.timeout(resume)
+
+        kind = (
+            NpfKind.MAJOR
+            if any(f.kind is FaultKind.MAJOR for f in faults)
+            else NpfKind.MINOR
+        )
+        breakdown = NpfBreakdown(
+            trigger_interrupt=interrupt,
+            driver=driver_time,
+            update_pt=update_pt,
+            resume=resume,
+            swap=swap_latency,
+        )
+        event = NpfEvent(self.env.now, side, kind, len(pages), breakdown, channel)
+        self.log.record_npf(event)
+        return event
+
+    # -- invalidation flow (Figure 2, right) -----------------------------------------
+    def invalidate(self, mr: MemoryRegion, vpn: int) -> float:
+        """Tear down one I/O PTE; returns the latency to charge the evictor."""
+        was_mapped = self.iommu.unmap(mr.domain.domain_id, vpn)
+        breakdown = self.costs.invalidation_breakdown(was_mapped)
+        self.log.record_invalidation(
+            InvalidationEvent(self.env.now, vpn, was_mapped, breakdown)
+        )
+        return breakdown.total
+
+    # -- pre-faulting helper ------------------------------------------------------------
+    def prefault(self, mr: OdpMemoryRegion, addr: int, size: int):
+        """Generator: warm a VA range (e.g. a receive ring) ahead of traffic.
+
+        Used by the Fig. 10 benchmarks, which pre-fault the ring to
+        isolate steady-state behaviour from the cold-ring effect.
+        """
+        first = addr >> 12
+        n_pages = ((addr + size - 1) >> 12) - first + 1
+        pages = mr.unmapped_vpns(first, n_pages)
+        if not pages:
+            return 0
+        faults = [mr.space.touch_page(v) for v in pages]
+        entries = {
+            v: mr.space.translate(v) for v in pages if mr.space.translate(v) is not None
+        }
+        self.iommu.map_batch(mr.domain.domain_id, entries)
+        latency = (
+            sum(f.latency for f in faults)
+            + self.costs.pt_update_base
+            + len(pages) * self.costs.pt_update_per_page
+        )
+        yield self.env.timeout(latency)
+        return len(pages)

@@ -1,0 +1,98 @@
+"""Network page fault (NPF) event records.
+
+These are the observable artifacts of the paper's mechanism: every
+fault serviced by the driver produces an :class:`NpfEvent` with its
+Figure 3 breakdown, and every MMU-notifier invalidation produces an
+:class:`InvalidationEvent`.  Experiments aggregate them for Figure 3 and
+Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .costs import InvalidationBreakdown, NpfBreakdown
+
+__all__ = ["NpfKind", "NpfSide", "NpfEvent", "InvalidationEvent", "NpfLog"]
+
+
+class NpfKind(enum.Enum):
+    """Minor = page never present / reclaimed without content; major = swap read."""
+
+    MINOR = "minor"
+    MAJOR = "major"
+
+
+class NpfSide(enum.Enum):
+    """Which datapath hit the fault (paper §4: four concurrent classes)."""
+
+    SEND = "send"                    # initiator read of local memory
+    RECEIVE = "receive"              # responder write of incoming data
+    RDMA_READ_INITIATOR = "rdma-read-initiator"
+    RDMA_WRITE_RESPONDER = "rdma-write-responder"
+
+
+@dataclass
+class NpfEvent:
+    """One serviced network page fault."""
+
+    time: float
+    side: NpfSide
+    kind: NpfKind
+    n_pages: int
+    breakdown: NpfBreakdown
+    channel: str = ""
+
+    @property
+    def latency(self) -> float:
+        return self.breakdown.total
+
+
+@dataclass
+class InvalidationEvent:
+    """One MMU-notifier-driven IOMMU invalidation."""
+
+    time: float
+    vpn: int
+    was_mapped: bool
+    breakdown: InvalidationBreakdown
+
+    @property
+    def latency(self) -> float:
+        return self.breakdown.total
+
+
+class NpfLog:
+    """Accumulates fault and invalidation events for the experiments."""
+
+    def __init__(self, keep_events: bool = True):
+        self.keep_events = keep_events
+        self.npf_events: List[NpfEvent] = []
+        self.invalidation_events: List[InvalidationEvent] = []
+        self.npf_count = 0
+        self.minor_count = 0
+        self.major_count = 0
+        self.invalidation_count = 0
+
+    def record_npf(self, event: NpfEvent) -> None:
+        self.npf_count += 1
+        if event.kind is NpfKind.MAJOR:
+            self.major_count += 1
+        else:
+            self.minor_count += 1
+        if self.keep_events:
+            self.npf_events.append(event)
+
+    def record_invalidation(self, event: InvalidationEvent) -> None:
+        self.invalidation_count += 1
+        if self.keep_events:
+            self.invalidation_events.append(event)
+
+    def latencies(self, side: Optional[NpfSide] = None) -> List[float]:
+        return [
+            ev.latency
+            for ev in self.npf_events
+            if side is None or ev.side is side
+        ]

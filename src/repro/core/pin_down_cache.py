@@ -1,0 +1,131 @@
+"""Coarse-grained pinning: the pin-down cache (paper §2.2).
+
+An LRU cache of pinned registrations with a byte-capacity bound.  A hit
+reuses an existing pinned MR for free; a miss evicts idle registrations
+until the new buffer fits, then pays the full registration cost.  As the
+capacity bound grows/shrinks, behaviour approaches static/fine-grained
+pinning respectively — the paper's "floating point" observation, which
+the ablation benchmark sweeps.
+
+This module is also the §6.3 complexity exhibit: everything in here is
+code an application (or MPI middleware) must carry *only because* NPFs
+are unavailable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..mem.memory import AddressSpace, Region
+
+__all__ = ["PinDownCache", "PinDownStats"]
+
+
+@dataclass
+class PinDownStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    __slots__ = ("mr", "refcount")
+
+    def __init__(self, mr):
+        self.mr = mr
+        self.refcount = 0
+
+
+class PinDownCache:
+    """LRU of pinned memory registrations, bounded in bytes."""
+
+    def __init__(self, driver, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("pin-down cache capacity must be positive")
+        self.driver = driver
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Tuple[int, int, int], _Entry]" = OrderedDict()
+        self._used_bytes = 0
+        self.stats = PinDownStats()
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- cache interface -------------------------------------------------------
+    def acquire(self, space: AddressSpace, addr: int, size: int):
+        """Get a pinned MR covering ``[addr, addr+size)``.
+
+        Returns ``(mr, latency)`` where ``latency`` is the registration
+        (and any eviction) cost to charge.  The MR stays referenced until
+        :meth:`release`.
+        """
+        if size <= 0:
+            raise ValueError("buffer size must be positive")
+        key = (space.asid, addr, size)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            entry.refcount += 1
+            self.stats.hits += 1
+            return entry.mr, 0.0
+
+        self.stats.misses += 1
+        latency = self._make_room(size)
+        region = Region(base=addr, size=size, name="pdc")
+        mr = self.driver.register_pinned(space, region)
+        latency += mr.registration_latency
+        entry = _Entry(mr)
+        entry.refcount = 1
+        self._entries[key] = entry
+        self._used_bytes += size
+        return mr, latency
+
+    def release(self, space: AddressSpace, addr: int, size: int) -> None:
+        """Drop one reference; the registration stays cached for reuse."""
+        entry = self._entries.get((space.asid, addr, size))
+        if entry is None or entry.refcount <= 0:
+            raise ValueError("release of a buffer not acquired")
+        entry.refcount -= 1
+
+    def flush(self) -> float:
+        """Deregister every idle entry; returns the total latency."""
+        latency = 0.0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.refcount == 0:
+                latency += entry.mr.deregister()
+                self._used_bytes -= key[2]
+                del self._entries[key]
+                self.stats.evictions += 1
+        return latency
+
+    # -- internals ----------------------------------------------------------------
+    def _make_room(self, size: int) -> float:
+        """Evict idle LRU entries until ``size`` fits; returns unpin latency."""
+        latency = 0.0
+        if size > self.capacity_bytes:
+            # Oversized buffer: allowed through, but it will be the first
+            # eviction candidate (degenerates to fine-grained pinning).
+            return latency
+        for key in list(self._entries):
+            if self._used_bytes + size <= self.capacity_bytes:
+                break
+            entry = self._entries[key]
+            if entry.refcount > 0:
+                continue
+            latency += entry.mr.deregister()
+            self._used_bytes -= key[2]
+            del self._entries[key]
+            self.stats.evictions += 1
+        return latency

@@ -1,0 +1,84 @@
+"""Static and fine-grained pinning strategies (paper §2.2 baselines).
+
+* :class:`StaticPinner` — pin the IOuser's entire address space up
+  front.  Simple, but the IOprovider loses every canonical memory
+  optimization over it, and it fails outright when pinned demand exceeds
+  physical memory (Table 5's "N/A" cells).
+* :class:`FineGrainedPinner` — register/deregister each DMA buffer
+  around every operation; safest, smallest pinned footprint, but every
+  operation pays the full map/unmap cost (Figure 9's gap).
+
+The coarse-grained strategy lives in
+:mod:`repro.core.pin_down_cache`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..mem.memory import AddressSpace, Region
+from .regions import PinnedMemoryRegion
+
+__all__ = ["StaticPinner", "FineGrainedPinner"]
+
+
+class StaticPinner:
+    """Pins entire address spaces for the lifetime of their IOchannel."""
+
+    def __init__(self, driver):
+        self.driver = driver
+        self._mrs: Dict[int, List[PinnedMemoryRegion]] = {}
+
+    def pin_space(self, space: AddressSpace) -> Tuple[List[PinnedMemoryRegion], float]:
+        """Pin every region of ``space``; returns (MRs, total latency).
+
+        Raises :class:`~repro.mem.OutOfMemoryError` when the space does
+        not fit in physical memory — already-pinned regions are rolled
+        back so a failed VM launch leaves no residue.
+        """
+        mrs: List[PinnedMemoryRegion] = []
+        latency = 0.0
+        try:
+            for region in space.regions:
+                mr = self.driver.register_pinned(space, region)
+                latency += mr.registration_latency
+                mrs.append(mr)
+        except Exception:
+            for mr in mrs:
+                mr.deregister()
+            raise
+        self._mrs.setdefault(space.asid, []).extend(mrs)
+        return mrs, latency
+
+    def unpin_space(self, space: AddressSpace) -> float:
+        """Release a space's static pins (VM teardown)."""
+        latency = 0.0
+        for mr in self._mrs.pop(space.asid, []):
+            latency += mr.deregister()
+        return latency
+
+    def pinned_bytes(self, space: AddressSpace) -> int:
+        return sum(mr.size for mr in self._mrs.get(space.asid, []))
+
+
+class FineGrainedPinner:
+    """Pin/unpin each DMA target buffer around every operation."""
+
+    def __init__(self, driver):
+        self.driver = driver
+        self.registrations = 0
+        self.deregistrations = 0
+
+    def register(self, space: AddressSpace, addr: int, size: int) -> Tuple[PinnedMemoryRegion, float]:
+        """Pin one buffer immediately before its DMA; returns (MR, latency)."""
+        if size <= 0:
+            raise ValueError("buffer size must be positive")
+        region = Region(base=addr, size=size, name="fine")
+        mr = self.driver.register_pinned(space, region)
+        self.registrations += 1
+        return mr, mr.registration_latency
+
+    def deregister(self, mr: PinnedMemoryRegion) -> float:
+        """Unpin right after the DMA completes; returns the latency."""
+        self.deregistrations += 1
+        return mr.deregister()

@@ -1,0 +1,122 @@
+"""The IOprovider's backup-ring service (paper §5, "Driver").
+
+The IOprovider owns the small pinned backup ring.  Its interrupt
+handler drains faulting packets into per-IOuser software queues
+(replenishing the ring immediately so it never starves), and one
+resolver thread per IOuser channel then:
+
+1. blocks until the target IOuser ring has the descriptor posted;
+2. ensures the descriptor's buffer pages are present and IOMMU-mapped
+   (a full NPF service if needed);
+3. copies the packet into the IOuser buffer (CPU copy — page faults are
+   transparently tolerable there, exactly like paravirtual NICs);
+4. notifies the NIC, whose ``resolve_rNPFs`` sweeps the ring head
+   forward and finally lets the IOuser see its packets, in order.
+
+IOusers never learn any of this happened — the whole point of the
+design (§3, "No IOusers NPF Handling").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..nic.backup_ring import BackupEntry, BackupRing
+from ..nic.interrupts import InterruptLine
+from ..sim.engine import Environment
+from ..sim.queues import Store
+from ..sim.units import PAGE_SHIFT, pages_for
+from .costs import NpfCosts
+from .driver import NpfDriver
+from .npf import NpfSide
+
+__all__ = ["IoProvider"]
+
+
+class IoProvider:
+    """Backup-ring owner and rNPF resolver for every channel of one host."""
+
+    def __init__(
+        self,
+        env: Environment,
+        driver: NpfDriver,
+        backup_size: int = 256,
+        costs: Optional[NpfCosts] = None,
+    ):
+        self.env = env
+        self.driver = driver
+        self.costs = costs or driver.costs
+        self.backup_ring = BackupRing(backup_size)
+        self.backup_irq = InterruptLine(env, self._backup_handler, name="backup")
+        #: resolver-thread CPU time per merged packet (descriptor checks etc.)
+        self.resolve_cpu_cost = 1e-6
+        self._channels: Dict[str, object] = {}
+        self._queues: Dict[str, Store] = {}
+        self.resolved_packets = 0
+        self.copied_bytes = 0
+
+    # -- NIC-facing interface -----------------------------------------------------
+    def nic_fault(self, channel, ring_index: int, bit_index: int, packet,
+                  injected: Optional[float] = None) -> None:
+        """NIC steers one faulting packet into the backup ring."""
+        self._channels[channel.name] = channel
+        entry = BackupEntry(channel.name, ring_index, bit_index, packet, injected)
+        if self.backup_ring.store(entry):
+            self.backup_irq.raise_irq()
+
+    # -- interrupt context ------------------------------------------------------------
+    def _backup_handler(self):
+        """Drain the backup ring into software queues (replenishes it)."""
+        entries = self.backup_ring.drain()
+        for entry in entries:
+            queue = self._queues.get(entry.channel)
+            if queue is None:
+                queue = Store(self.env)
+                self._queues[entry.channel] = queue
+                channel = self._channels[entry.channel]
+                self.env.process(
+                    self._resolver(channel, queue), name=f"resolver-{entry.channel}"
+                )
+            queue.put_nowait(entry)
+        # Small per-entry cost for the interrupt-context bookkeeping.
+        yield self.env.timeout(0.5e-6 * max(1, len(entries)))
+
+    # -- resolver thread (one per IOuser channel) -----------------------------------------
+    def _resolver(self, channel, queue: Store):
+        while True:
+            entry: BackupEntry = yield queue.get()
+            # 1. Wait for the IOuser to have posted the target descriptor.
+            while channel.ring.descriptor_at(entry.ring_index) is None:
+                yield channel.wait_tail_advance()
+            descriptor = channel.ring.descriptor_at(entry.ring_index)
+            # 2. Make the buffer present and IOMMU-mapped.  The NPF
+            # machinery is only engaged for pages that actually lack
+            # translations; warm buffers (packets that landed here because
+            # the IOuser ring was momentarily exhausted, or because an
+            # older fault froze the head) just get copied.
+            first_vpn = descriptor.buffer_addr >> PAGE_SHIFT
+            n_pages = pages_for(descriptor.buffer_size) or 1
+            mr = channel.mr
+            needs_fault = (
+                hasattr(mr, "unmapped_vpns") and mr.unmapped_vpns(first_vpn, n_pages)
+            )
+            if needs_fault:
+                yield self.env.process(
+                    self.driver.service_fault(
+                        mr, first_vpn, n_pages, NpfSide.RECEIVE, channel.name
+                    )
+                )
+            elif entry.injected is not None:
+                # Synthetic §6.4 fault: wait out the (shared) resolution
+                # window the NIC stamped on the entry.
+                remaining = entry.injected - self.env.now
+                if remaining > 0:
+                    yield self.env.timeout(remaining)
+            yield self.env.timeout(self.resolve_cpu_cost)
+            # 3. CPU copy of the packet into the IOuser buffer.
+            yield self.env.timeout(self.costs.memcpy_time(entry.packet.size))
+            descriptor.packet = entry.packet
+            self.resolved_packets += 1
+            self.copied_bytes += entry.packet.size
+            # 4. Tell the NIC; it sweeps head forward and interrupts the IOuser.
+            channel.resolve_from_backup(entry.bit_index)

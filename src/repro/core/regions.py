@@ -1,0 +1,149 @@
+"""Memory regions exposed to NICs: pinned vs. on-demand-paging (ODP).
+
+A *memory region* (MR) is the verbs-level handle the NIC DMAs through.
+Translation uses identity IOVAs (IOVA == VA), so I/O page numbers equal
+virtual page numbers — exactly the view the paper's Connect-IB takes of
+its on-NIC IOMMU tables.
+
+* :class:`PinnedMemoryRegion` — the classic MR: registration pins every
+  page and installs every PTE; nothing ever faults, nothing is ever
+  reclaimable.  Registration cost is real (``NpfCosts.pin_time``).
+* :class:`OdpMemoryRegion` — the paper's contribution: registration is
+  free of pinning; I/O PTEs are installed lazily by NPFs and torn down
+  by MMU-notifier invalidations, so the OS stays free to evict.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..iommu.iommu import Iommu
+from ..iommu.page_table import IoPageTable
+from ..mem.memory import AddressSpace, Region
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .driver import NpfDriver
+
+__all__ = ["MemoryRegion", "PinnedMemoryRegion", "OdpMemoryRegion"]
+
+
+class MemoryRegion:
+    """Base MR: a VA range of one address space, visible to one IOMMU domain."""
+
+    def __init__(self, space: AddressSpace, region: Region, iommu: Iommu, domain: IoPageTable):
+        self.space = space
+        self.region = region
+        self.iommu = iommu
+        self.domain = domain
+        self._registered = True
+
+    @property
+    def is_registered(self) -> bool:
+        return self._registered
+
+    @property
+    def base(self) -> int:
+        return self.region.base
+
+    @property
+    def size(self) -> int:
+        return self.region.size
+
+    def covers(self, vpn: int) -> bool:
+        return vpn in self.region.vpns()
+
+    def translate(self, vpn: int):
+        """IOMMU translation for one page of this MR."""
+        return self.iommu.translate(self.domain.domain_id, vpn)
+
+    def is_mapped(self, vpn: int) -> bool:
+        return self.domain.is_mapped(vpn)
+
+    def deregister(self) -> float:
+        """Tear the MR down; returns the latency to charge."""
+        raise NotImplementedError
+
+
+class PinnedMemoryRegion(MemoryRegion):
+    """MR whose pages are pinned and mapped for its whole lifetime."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        region: Region,
+        iommu: Iommu,
+        domain: IoPageTable,
+        costs,
+    ):
+        super().__init__(space, region, iommu, domain)
+        self._costs = costs
+        #: latency incurred by registration (pin + populate + map)
+        self.registration_latency = 0.0
+        faults = space.pin_range(region.base, region.size)
+        self.registration_latency += space.fault_cost(faults)
+        entries = {}
+        for vpn in region.vpns():
+            frame = space.translate(vpn)
+            assert frame is not None, "pinned page must be resident"
+            entries[vpn] = frame
+        iommu.map_batch(domain.domain_id, entries)
+        self.registration_latency += costs.pin_time(region.page_count())
+
+    def deregister(self) -> float:
+        if not self._registered:
+            raise ValueError("MR already deregistered")
+        self._registered = False
+        for vpn in self.region.vpns():
+            self.iommu.unmap(self.domain.domain_id, vpn)
+        self.space.unpin_range(self.region.base, self.region.size)
+        return self._costs.unpin_time(self.region.page_count())
+
+
+class OdpMemoryRegion(MemoryRegion):
+    """The paper's on-demand-paging MR.
+
+    Nothing is pinned or mapped at registration.  The NIC's first DMA
+    through each page raises an NPF, which the :class:`NpfDriver`
+    resolves by faulting the page in and installing the I/O PTE.  When
+    the OS evicts or unmaps a page, the MMU notifier tears the PTE down
+    (charging the Figure 3(b) invalidation cost to the evictor).
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        region: Region,
+        iommu: Iommu,
+        domain: IoPageTable,
+        driver: "NpfDriver",
+    ):
+        super().__init__(space, region, iommu, domain)
+        self.driver = driver
+        self.registration_latency = 0.0  # ODP registration pins nothing
+        self._vpn_range = region.vpns()
+        space.register_notifier(self._on_invalidate)
+
+    def _on_invalidate(self, space: AddressSpace, vpn: int) -> Optional[float]:
+        if not self._registered or vpn not in self._vpn_range:
+            return None
+        return self.driver.invalidate(self, vpn)
+
+    def unmapped_vpns(self, vpn: int, n_pages: int) -> List[int]:
+        """The subset of [vpn, vpn+n_pages) lacking I/O PTEs (would fault)."""
+        return [
+            v
+            for v in range(vpn, vpn + n_pages)
+            if self.covers(v) and not self.domain.is_mapped(v)
+        ]
+
+    def deregister(self) -> float:
+        if not self._registered:
+            raise ValueError("MR already deregistered")
+        self._registered = False
+        self.space.unregister_notifier(self._on_invalidate)
+        # Tear down only what was lazily mapped (implicit MRs span the
+        # whole address space; iterating their VA range would be absurd).
+        for iopn, _frame in list(self.domain.entries()):
+            if self.covers(iopn):
+                self.iommu.unmap(self.domain.domain_id, iopn)
+        return 0.0

@@ -1,0 +1,39 @@
+"""Experiment harness: one module per paper table/figure, plus ablations."""
+
+from . import (
+    ablations,
+    fig3_breakdown,
+    fig4_cold_ring,
+    fig7_dynamic,
+    fig8_storage,
+    fig9_imb,
+    fig10_whatif,
+    sec63_loc,
+    table3_tradeoffs,
+    table4_tail,
+    table5_overcommit,
+    table6_beff,
+)
+from .base import ExperimentResult, print_result
+from .config import MEM_SCALE, TIME_SCALE, scale_bytes, scaled_tcp_params
+
+__all__ = [
+    "ablations",
+    "fig3_breakdown",
+    "fig4_cold_ring",
+    "fig7_dynamic",
+    "fig8_storage",
+    "fig9_imb",
+    "fig10_whatif",
+    "sec63_loc",
+    "table3_tradeoffs",
+    "table4_tail",
+    "table5_overcommit",
+    "table6_beff",
+    "ExperimentResult",
+    "print_result",
+    "MEM_SCALE",
+    "TIME_SCALE",
+    "scale_bytes",
+    "scaled_tcp_params",
+]

@@ -1,0 +1,90 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig3 table4 ...
+    python -m repro.experiments run all
+
+Each experiment prints the paper-style table it reproduces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import (
+    ablations,
+    fig3_breakdown,
+    fig4_cold_ring,
+    fig7_dynamic,
+    fig8_storage,
+    fig9_imb,
+    fig10_whatif,
+    sec63_loc,
+    table3_tradeoffs,
+    table4_tail,
+    table5_overcommit,
+    table6_beff,
+)
+from .base import print_result
+
+REGISTRY: Dict[str, Callable] = {
+    "fig3": fig3_breakdown.run,
+    "table4": table4_tail.run,
+    "fig4a": fig4_cold_ring.run_startup,
+    "fig4b": fig4_cold_ring.run_ring_sweep,
+    "table5": table5_overcommit.run,
+    "fig7": fig7_dynamic.run,
+    "fig8a": fig8_storage.run_bandwidth,
+    "fig8b": fig8_storage.run_resident_memory,
+    "fig9": fig9_imb.run,
+    "table6": table6_beff.run,
+    "fig10-eth": fig10_whatif.run_ethernet,
+    "fig10-ib": fig10_whatif.run_infiniband,
+    "table3": table3_tradeoffs.run,
+    "sec63": sec63_loc.run,
+    "ablation-batching": ablations.run_batching,
+    "ablation-bypass": ablations.run_firmware_bypass,
+    "ablation-classes": ablations.run_concurrent_classes,
+    "ablation-bm-size": ablations.run_bm_size_sweep,
+    "ablation-pdc": ablations.run_pdc_capacity_sweep,
+    "ablation-read-rnr": ablations.run_read_rnr_extension,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("names", nargs="+",
+                            help="experiment names, or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in REGISTRY:
+            print(name)
+        return 0
+
+    names = list(REGISTRY) if args.names == ["all"] else args.names
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        print_result(REGISTRY[name]())
+        print(f"   ({name} took {time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Shared scaling knobs for the end-to-end experiments.
+
+The paper's Ethernet experiments run for up to 90 wall-clock seconds
+against real TCP timers (200 ms minimum RTO, 1 s SYN timeout).  The
+dynamics are timer-dominated, so the reproduction compresses time by
+``TIME_SCALE``: TCP timers shrink 10x and experiment durations shrink
+with them.  Throughput *ratios* and the shape of every curve are
+unaffected — they depend on the ratio of fault-resolution time to
+retransmission timers, which the scaling preserves (NPF resolution is
+hundreds of microseconds, still far below even the scaled 20 ms RTO).
+
+Memory experiments scale capacities by ``MEM_SCALE`` (1/64): an 8 GB
+host becomes 128 MB, a 3 GB VM becomes 48 MB, and so on, preserving
+every ratio the experiments depend on while keeping page-granular
+simulation tractable.
+"""
+
+from __future__ import annotations
+
+from ..transport.tcp import TcpParams
+
+__all__ = ["TIME_SCALE", "MEM_SCALE", "scaled_tcp_params", "scale_bytes"]
+
+TIME_SCALE = 10          # TCP timers and run durations shrink by this
+MEM_SCALE = 64           # memory capacities shrink by this
+
+
+def scaled_tcp_params(max_total_timeouts: int | None = None) -> TcpParams:
+    """TCP with timers compressed by ``TIME_SCALE``."""
+    return TcpParams(
+        rto_min=0.200 / TIME_SCALE,
+        rto_max=60.0 / TIME_SCALE,
+        syn_timeout=1.0 / TIME_SCALE,
+        max_total_timeouts=max_total_timeouts,
+    )
+
+
+def scale_bytes(paper_bytes: int) -> int:
+    """Scale a paper-testbed capacity down by ``MEM_SCALE``."""
+    return paper_bytes // MEM_SCALE

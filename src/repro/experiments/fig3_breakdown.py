@@ -1,0 +1,102 @@
+"""Figure 3 — execution breakdown of NPFs and invalidations.
+
+Drives real NPF service flows through the driver (4 KB and 4 MB work
+requests, i.e. 1 and 1024 pages) and real MMU-notifier invalidations,
+then reports the mean per-component latencies the paper plots.
+"""
+
+from __future__ import annotations
+
+from ..core.driver import NpfDriver
+from ..core.npf import NpfSide
+from ..iommu.iommu import Iommu
+from ..mem.memory import Memory
+from ..sim.engine import Environment
+from ..sim.rng import Rng
+from ..sim.units import KB, MB, PAGE_SIZE, us
+from ..core.costs import NpfCosts
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def run(samples: int = 200, seed: int = 42) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="figure-3",
+        title="Execution breakdown of NPF and invalidation",
+        columns=["case", "interrupt_us", "driver_us", "update_pt_us",
+                 "resume_us", "total_us", "hw_fraction"],
+        scaling="none (microbenchmark, paper-calibrated constants)",
+    )
+    for label, size in (("npf-4KB", 4 * KB), ("npf-4MB", 4 * MB)):
+        env = Environment()
+        memory = Memory(4 * size)  # roomy: no reclaim noise in the breakdown
+        iommu = Iommu()
+        costs = NpfCosts(rng=Rng(seed))
+        driver = NpfDriver(env, iommu, costs=costs)
+        space = memory.create_space()
+        n_pages = size // PAGE_SIZE
+        region = space.mmap(2 * size)
+        mr = driver.register_odp(space, region)
+        base_vpn = region.vpns()[0]
+
+        def faults():
+            for i in range(samples):
+                vpn = base_vpn + (i % 2) * n_pages
+                yield env.process(
+                    driver.service_fault(mr, vpn, n_pages, NpfSide.SEND)
+                )
+                for v in range(vpn, vpn + n_pages):
+                    driver.invalidate(mr, v)
+
+        env.run(env.process(faults()))
+        events = driver.log.npf_events
+        result.add_row(
+            case=label,
+            interrupt_us=_mean([e.breakdown.trigger_interrupt for e in events]) / us,
+            driver_us=_mean([e.breakdown.driver for e in events]) / us,
+            update_pt_us=_mean([e.breakdown.update_pt for e in events]) / us,
+            resume_us=_mean([e.breakdown.resume for e in events]) / us,
+            total_us=_mean([e.latency for e in events]) / us,
+            hw_fraction=_mean([e.breakdown.hardware_fraction for e in events]),
+        )
+
+    # Invalidation flow: mapped vs never-mapped pages (Figure 3(b)).
+    for label, premap in (("invalidate-mapped", True),
+                          ("invalidate-unmapped", False)):
+        env = Environment()
+        memory = Memory(8 * 1024 * PAGE_SIZE)
+        iommu = Iommu()
+        costs = NpfCosts(rng=Rng(seed + 1))
+        driver = NpfDriver(env, iommu, costs=costs)
+        space = memory.create_space()
+        region = space.mmap(samples * PAGE_SIZE)
+        mr = driver.register_odp(space, region)
+        if premap:
+            env.run(env.process(driver.prefault(mr, region.base, region.size)))
+        for vpn in region.vpns():
+            driver.invalidate(mr, vpn)
+        events = driver.log.invalidation_events
+        result.add_row(
+            case=label,
+            interrupt_us=0.0,
+            driver_us=_mean([e.breakdown.checks for e in events]) / us,
+            update_pt_us=_mean([e.breakdown.update_pt for e in events]) / us,
+            resume_us=_mean([e.breakdown.updates for e in events]) / us,
+            total_us=_mean([e.latency for e in events]) / us,
+            hw_fraction=0.0,
+        )
+    result.notes.append(
+        "paper: 4KB NPF ~220us (90% hw), 4MB ~350us; invalidations cheaper, "
+        "dominated by the hw page-table update when the page was mapped"
+    )
+    result.notes.append(
+        "invalidate-* rows map Figure 3(b)'s components onto the columns: "
+        "driver_us=checks [sw], update_pt_us=update hw PT [sw+hw], "
+        "resume_us=updates [sw]"
+    )
+    return result

@@ -1,0 +1,119 @@
+"""Figure 4 — the cold ring problem (paper §5).
+
+(a) memcached startup throughput over time with a 64-entry receive
+    ring, comparing drop / backup / pin;
+(b) time to complete a fixed number of operations as a function of the
+    receive-ring size; dropping degrades linearly with ring size and the
+    TCP stack eventually reports failure, while the backup ring pays a
+    tolerable, bounded warm-up cost.
+
+Time is compressed by ``TIME_SCALE`` (see :mod:`repro.experiments.config`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..apps.framing import MessageFramer
+from ..apps.kvstore import KvServer
+from ..apps.memaslap import Memaslap
+from ..host.host import ethernet_testbed
+from ..nic.ethernet import RxMode
+from ..sim.engine import Environment
+from ..sim.rng import Rng
+from ..sim.units import KB, MB
+from .base import ExperimentResult
+from .config import TIME_SCALE, scaled_tcp_params
+
+__all__ = ["run_startup", "run_ring_sweep", "MODES"]
+
+MODES = {"drop": RxMode.DROP, "backup": RxMode.BACKUP, "pin": RxMode.PIN}
+
+
+def _build(mode: RxMode, ring_size: int, seed: int,
+           max_total_timeouts=None) -> Tuple[Environment, KvServer, Memaslap]:
+    MessageFramer.reset_registry()
+    env = Environment()
+    params = scaled_tcp_params(max_total_timeouts=max_total_timeouts)
+    server, client, srv_user, cli_user = ethernet_testbed(
+        env, mode, ring_size=ring_size, tcp_params=params,
+    )
+    kv = KvServer(srv_user, capacity_bytes=8 * MB, item_value_size=1 * KB)
+    # think_time throttles the closed loop enough to keep simulation cost
+    # bounded while still arriving much faster than fault resolution
+    # (~60us inter-arrival vs ~220us per fault), which is what makes the
+    # cold ring deadly in the paper's full-speed runs.
+    gen = Memaslap(
+        cli_user, "server", "srv0", Rng(seed), connections=8,
+        get_ratio=0.9, n_keys=512, value_size=1 * KB,
+        report_interval=0.25, think_time=0.001,
+    )
+    return env, kv, gen
+
+
+def run_startup(duration: float = 3.0, seed: int = 11) -> ExperimentResult:
+    """Figure 4(a): throughput vs time during startup (64-entry ring).
+
+    ``duration`` is in scaled seconds (multiply by TIME_SCALE for the
+    paper's axis).
+    """
+    result = ExperimentResult(
+        experiment_id="figure-4a",
+        title="Startup throughput over time, 64-entry receive ring",
+        columns=["time_s"] + list(MODES),
+        scaling=f"TCP timers and time axis compressed {TIME_SCALE}x",
+    )
+    series: Dict[str, List[float]] = {}
+    times: List[float] = []
+    for name, mode in MODES.items():
+        env, kv, gen = _build(mode, ring_size=64, seed=seed)
+        gen.start()
+        env.run(until=duration)
+        gen.stop()
+        points = gen.tps.series.points()
+        series[name] = [v for _, v in points]
+        times = [t for t, _ in points]
+    for i, t in enumerate(times):
+        result.add_row(
+            time_s=t,
+            **{name: series[name][i] if i < len(series[name]) else 0.0
+               for name in MODES},
+        )
+    result.notes.append(
+        "paper: pinning reaches steady state immediately; dropping stays "
+        "near zero for ~60s (scaled: ~6s); backup tracks pinning"
+    )
+    return result
+
+
+def run_ring_sweep(ring_sizes=(16, 64, 256, 1024),
+                   ops: int = 1500, seed: int = 13) -> ExperimentResult:
+    """Figure 4(b): time for ``ops`` operations vs receive-ring size."""
+    result = ExperimentResult(
+        experiment_id="figure-4b",
+        title="Time to perform a fixed operation count vs ring size",
+        columns=["ring_size", "drop_s", "backup_s", "pin_s", "drop_failures"],
+        scaling=(f"TCP timers compressed {TIME_SCALE}x; "
+                 f"{ops} ops instead of the paper's 10,000"),
+    )
+    for ring_size in ring_sizes:
+        row = {"ring_size": ring_size}
+        for name, mode in MODES.items():
+            env, kv, gen = _build(
+                mode, ring_size=ring_size, seed=seed,
+                max_total_timeouts=12 if name == "drop" else None,
+            )
+            done = gen.start(ops_limit=ops)
+            env.run(until=60.0)
+            if done.triggered:
+                row[f"{name}_s"] = done.value
+            else:
+                row[f"{name}_s"] = float("inf")
+            if name == "drop":
+                row["drop_failures"] = gen.failed_connections
+        result.add_row(**row)
+    result.notes.append(
+        "paper: drop grows with ring size until the stack gives up "
+        "(>=128 entries); backup's warm-up cost grows slowly; pin is flat"
+    )
+    return result

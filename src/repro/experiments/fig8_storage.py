@@ -1,0 +1,127 @@
+"""Figure 8 — storage target (tgt/iSER) under memory pressure.
+
+(a) random-read bandwidth vs host memory: the pinned configuration
+    cannot even load at the low end (its 1 GB of pinned communication
+    buffers don't fit beside the OS/workload footprint) and serves fewer
+    reads from the page cache elsewhere — NPFs win up to ~1.9x until
+    memory is plentiful;
+(b) tgt resident memory vs initiator sessions: with NPFs, only the
+    *used* part of each session's transaction chunks is ever backed by
+    frames (64 KB of every 512 KB chunk for small I/O), while pinning
+    keeps the whole comm region resident regardless.
+
+Scaled 1/64: 4 GB LUN -> 56 MB (3.5 GB), 1 GB comm region -> 16 MB,
+4-8 GB sweep -> 64-128 MB.  ``OS_RESERVE`` models the paper testbed's
+non-pageable baseline footprint (kernel, fio, tgt heap).
+"""
+
+from __future__ import annotations
+
+from ..apps.storage import Disk, FioTester, StorageTarget
+from ..host.ib import ib_pair
+from ..mem.memory import OutOfMemoryError
+from ..sim.engine import Environment
+from ..sim.rng import Rng
+from ..sim.units import GB, KB, MB
+from .base import ExperimentResult
+
+__all__ = ["run_bandwidth", "run_resident_memory"]
+
+LUN_BYTES = 56 * MB
+COMM_BYTES = 16 * MB
+OS_RESERVE = 49 * MB
+BLOCK = 512 * KB
+
+
+def _build(memory_bytes: int, pinned: bool, io_size: int, sessions: int,
+           seed: int):
+    env = Environment()
+    target_host, initiator_host = ib_pair(env, memory_bytes=memory_bytes)
+    # The testbed's non-pageable baseline (kernel, daemons, fio).
+    reserve_space = target_host.memory.create_space("os-reserve")
+    reserve = reserve_space.mmap(OS_RESERVE)
+    reserve_space.pin_range(reserve.base, reserve.size)
+    # fio drives deep I/O queues, so misses overlap at the disk; the low
+    # effective seek models that queue-level parallelism.
+    target = StorageTarget(
+        target_host, lun_bytes=LUN_BYTES, block_size=BLOCK,
+        comm_region_bytes=COMM_BYTES, pinned=pinned,
+        disk=Disk(seek_time=0.0015, bandwidth_bytes_per_sec=300 * MB),
+    )
+    fio = FioTester(initiator_host, target, Rng(seed), io_size=io_size,
+                    sessions=sessions)
+    return env, target, fio
+
+
+def run_bandwidth(memory_points_gb=(4, 5, 6, 7, 8), ios: int = 400,
+                  seed: int = 29) -> ExperimentResult:
+    """Figure 8(a): bandwidth vs memory, NPF vs pinned."""
+    result = ExperimentResult(
+        experiment_id="figure-8a",
+        title="Storage bandwidth vs host memory (512KB random reads)",
+        columns=["memory_gb", "npf_gbps", "pin_gbps", "npf_vs_pin"],
+        scaling="all capacities /64 (4GB LUN -> 56MB etc.)",
+    )
+    for gb in memory_points_gb:
+        memory = gb * GB // 64
+        row = {"memory_gb": gb}
+        bandwidths = {}
+        for label, pinned in (("npf", False), ("pin", True)):
+            try:
+                env, target, fio = _build(memory, pinned, BLOCK, 1, seed)
+            except OutOfMemoryError:
+                bandwidths[label] = None
+                continue
+            start = env.now
+            done = fio.run(total_ios=ios)
+            env.run(env.any_of([done, env.timeout(600.0)]))
+            if fio.completed < ios:
+                bandwidths[label] = None
+                continue
+            elapsed = done.value - start
+            bandwidths[label] = fio.bytes_read / elapsed / GB
+        row["npf_gbps"] = (round(bandwidths["npf"], 3)
+                           if bandwidths["npf"] else "FAIL")
+        row["pin_gbps"] = (round(bandwidths["pin"], 3)
+                           if bandwidths["pin"] else "FAIL")
+        if bandwidths["npf"] and bandwidths["pin"]:
+            row["npf_vs_pin"] = round(bandwidths["npf"] / bandwidths["pin"], 2)
+        else:
+            row["npf_vs_pin"] = "-"
+        result.add_row(**row)
+    result.notes.append(
+        "paper: pinned fails to load below 5GB; NPF wins by 1.4-1.9x in the "
+        "middle of the sweep; the two converge once memory is plentiful"
+    )
+    return result
+
+
+def run_resident_memory(session_counts=(1, 2, 4, 8, 16, 32),
+                        ios_per_session: int = 16,
+                        seed: int = 31) -> ExperimentResult:
+    """Figure 8(b): tgt comm-buffer resident memory vs #initiators."""
+    result = ExperimentResult(
+        experiment_id="figure-8b",
+        title="tgt resident comm-buffer memory vs initiator sessions (6GB host)",
+        columns=["sessions", "npf_64KB_mb", "npf_512KB_mb", "pin_mb"],
+        scaling="capacities /64; sessions 1-32 instead of 1-80",
+    )
+    memory = 6 * GB // 64
+    for sessions in session_counts:
+        row = {"sessions": sessions}
+        for label, pinned, io_size in (
+            ("npf_64KB_mb", False, 64 * KB),
+            ("npf_512KB_mb", False, 512 * KB),
+            ("pin_mb", True, 64 * KB),
+        ):
+            env, target, fio = _build(memory, pinned, io_size, sessions, seed)
+            done = fio.run(total_ios=ios_per_session * sessions)
+            env.run(env.any_of([done, env.timeout(600.0)]))
+            row[label] = round(target.comm_resident_bytes / MB, 2)
+        result.add_row(**row)
+    result.notes.append(
+        "paper: memory use grows with sessions; with 64KB blocks NPF backs "
+        "only the used eighth of each 512KB chunk; pinning stays at the "
+        "full 1GB (16MB scaled) regardless"
+    )
+    return result

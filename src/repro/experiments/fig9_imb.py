@@ -1,0 +1,64 @@
+"""Figure 9 — Intel MPI Benchmarks: copy vs pin-down cache vs NPF.
+
+Runs sendrecv / bcast / alltoall in ``off_cache`` mode (rotating
+buffers) for each registration strategy and reports runtimes per
+message size, plus the copy/pin ratio the paper annotates (1.1x-2.2x,
+growing with message size).  NPF should track the pin-down cache.
+"""
+
+from __future__ import annotations
+
+from ..apps.mpi import MpiWorld
+from ..sim.engine import Environment
+from ..sim.units import KB, MB
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+BENCHMARKS = ("sendrecv", "bcast", "alltoall")
+SIZES = (16 * KB, 32 * KB, 64 * KB, 128 * KB)
+
+
+def _runtime(mode: str, benchmark: str, size: int, iterations: int,
+             n_ranks: int) -> float:
+    env = Environment()
+    world = MpiWorld(env, n_ranks=n_ranks, mode=mode, memory_bytes=512 * MB)
+    proc = env.process(getattr(world, benchmark)(size, iterations))
+    env.run(until=proc)
+    return env.now
+
+
+def run(iterations: int = 200, n_ranks: int = 4) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="figure-9",
+        title=f"IMB runtime vs message size ({n_ranks} ranks, "
+              f"{iterations} iterations, off_cache)",
+        columns=["benchmark", "size_kb", "copy_s", "pin_s", "npf_s",
+                 "copy_vs_pin", "npf_vs_pin"],
+        scaling=f"{n_ranks} ranks instead of 8; {iterations} iterations",
+    )
+    for benchmark in BENCHMARKS:
+        for size in SIZES:
+            # alltoall moves (n-1)x the data per iteration; IMB still runs
+            # enough iterations that warm-up (registration or first-touch
+            # faults) amortizes away, so we keep the count comparable.
+            iters = iterations if benchmark != "alltoall" else max(
+                50, iterations // 2
+            )
+            t_copy = _runtime("copy", benchmark, size, iters, n_ranks)
+            t_pin = _runtime("pin", benchmark, size, iters, n_ranks)
+            t_npf = _runtime("npf", benchmark, size, iters, n_ranks)
+            result.add_row(
+                benchmark=benchmark,
+                size_kb=size // KB,
+                copy_s=t_copy,
+                pin_s=t_pin,
+                npf_s=t_npf,
+                copy_vs_pin=round(t_copy / t_pin, 2),
+                npf_vs_pin=round(t_npf / t_pin, 2),
+            )
+    result.notes.append(
+        "paper: copying costs 1.1x (small) to 2.1-2.2x (large) over the "
+        "pin-down cache; NPF matches the pin-down cache throughout"
+    )
+    return result

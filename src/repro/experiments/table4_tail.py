@@ -1,0 +1,64 @@
+"""Table 4 — tail latency of NPFs (50/95/99/max percentiles)."""
+
+from __future__ import annotations
+
+from ..core.costs import NpfCosts
+from ..core.driver import NpfDriver
+from ..core.npf import NpfSide
+from ..iommu.iommu import Iommu
+from ..mem.memory import Memory
+from ..sim.engine import Environment
+from ..sim.rng import Rng
+from ..sim.stats import percentile
+from ..sim.units import KB, MB, PAGE_SIZE, us
+from .base import ExperimentResult
+
+__all__ = ["run"]
+
+PAPER = {
+    "4KB": {"p50": 215, "p95": 250, "p99": 261, "max": 464},
+    "4MB": {"p50": 352, "p95": 431, "p99": 440, "max": 687},
+}
+
+
+def run(samples: int = 2000, seed: int = 7) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table-4",
+        title="Tail latency of NPFs",
+        columns=["message", "p50_us", "p95_us", "p99_us", "max_us",
+                 "paper_p50", "paper_p99"],
+        scaling="none (microbenchmark)",
+    )
+    for label, size in (("4KB", 4 * KB), ("4MB", 4 * MB)):
+        env = Environment()
+        memory = Memory(4 * 1024 * PAGE_SIZE)
+        iommu = Iommu()
+        driver = NpfDriver(env, iommu, costs=NpfCosts(rng=Rng(seed)))
+        space = memory.create_space()
+        n_pages = size // PAGE_SIZE
+        region = space.mmap(2 * size)
+        mr = driver.register_odp(space, region)
+        base_vpn = region.vpns()[0]
+
+        def faults():
+            for i in range(samples):
+                vpn = base_vpn + (i % 2) * n_pages
+                yield env.process(
+                    driver.service_fault(mr, vpn, n_pages, NpfSide.SEND)
+                )
+                # Unmap again so every iteration is a fresh minor fault.
+                for v in range(vpn, vpn + n_pages):
+                    driver.invalidate(mr, v)
+
+        env.run(env.process(faults()))
+        latencies = [e.latency for e in driver.log.npf_events if e.n_pages > 0]
+        result.add_row(
+            message=label,
+            p50_us=percentile(latencies, 50) / us,
+            p95_us=percentile(latencies, 95) / us,
+            p99_us=percentile(latencies, 99) / us,
+            max_us=max(latencies) / us,
+            paper_p50=PAPER[label]["p50"],
+            paper_p99=PAPER[label]["p99"],
+        )
+    return result

@@ -1,0 +1,13 @@
+"""Host composition helpers and canonical testbeds."""
+
+from .host import EthernetHost, IOUser, ethernet_testbed
+from .ib import IbHost, connected_qp_pair, ib_pair
+
+__all__ = [
+    "EthernetHost",
+    "IOUser",
+    "ethernet_testbed",
+    "IbHost",
+    "connected_qp_pair",
+    "ib_pair",
+]

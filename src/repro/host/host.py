@@ -1,0 +1,142 @@
+"""Host composition: memory + IOMMU + NPF driver + IOprovider + NIC.
+
+These classes wire the substrates into the paper's testbed shapes so
+tests, examples and benchmarks do not repeat boilerplate:
+
+* :class:`EthernetHost` — one server with an Ethernet NIC whose
+  IOchannels run in pin / drop / backup mode;
+* :class:`IOUser` — an untrusted tenant: its own address space, its MR,
+  its IOchannel and a TCP stack on top;
+* :func:`ethernet_testbed` — the paper's two-machine Ethernet setup
+  (12 Gb/s NPF-prototype server facing a 40 Gb/s stock client).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.costs import NpfCosts
+from ..core.driver import NpfDriver
+from ..core.npf import NpfLog
+from ..core.provider import IoProvider
+from ..iommu.iommu import Iommu
+from ..mem.memory import Memory
+from ..net.fabric import connect_back_to_back
+from ..nic.ethernet import EthChannel, EthernetNic, RxMode
+from ..sim.engine import Environment
+from ..sim.units import GB, Gbps, PAGE_SIZE
+from ..transport.tcp import TcpParams, TcpStack
+
+__all__ = ["EthernetHost", "IOUser", "ethernet_testbed"]
+
+
+class IOUser:
+    """An untrusted tenant with a direct IOchannel and a TCP stack."""
+
+    def __init__(
+        self,
+        host: "EthernetHost",
+        name: str,
+        mode: RxMode,
+        ring_size: int = 64,
+        bm_size: Optional[int] = None,
+        buffer_size: int = PAGE_SIZE,
+        tcp_params: Optional[TcpParams] = None,
+    ):
+        self.host = host
+        self.name = name
+        self.mode = mode
+        self.space = host.memory.create_space(name)
+        self.rx_pool = self.space.mmap(ring_size * buffer_size, name=f"{name}-rx-pool")
+        if mode is RxMode.PIN:
+            # Static pinning: the IOprovider pins the IOuser's memory as it
+            # appears (rx pool now; heaps at mmap time via pin_region()).
+            self.mr = host.driver.register_pinned(self.space, self.rx_pool)
+        else:
+            self.mr = host.driver.register_odp_implicit(self.space)
+        self.channel: EthChannel = host.nic.create_channel(
+            name, mode, self.mr, ring_size=ring_size,
+            bm_size=bm_size if bm_size is not None else 4 * ring_size,
+        )
+        for i in range(ring_size):
+            self.channel.post_recv(self.rx_pool.base + i * buffer_size, buffer_size)
+        self.stack = TcpStack(host.env, self.channel, name, tcp_params)
+
+    def mmap(self, size: int, name: str = "", pinned: Optional[bool] = None):
+        """Allocate app memory; pinned by default iff the channel is pinned."""
+        region = self.space.mmap(size, name=name)
+        if pinned if pinned is not None else self.mode is RxMode.PIN:
+            self.space.pin_range(region.base, region.size)
+        return region
+
+
+class EthernetHost:
+    """One machine of the Ethernet testbed."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        memory_bytes: int = 8 * GB,
+        costs: Optional[NpfCosts] = None,
+        backup_size: int = 256,
+        npf_log: Optional[NpfLog] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.memory = Memory(memory_bytes)
+        self.iommu = Iommu()
+        self.costs = costs or NpfCosts()
+        self.driver = NpfDriver(env, self.iommu, costs=self.costs, log=npf_log)
+        self.provider = IoProvider(env, self.driver, backup_size=backup_size)
+        self.nic = EthernetNic(env, name, driver=self.driver)
+        self.nic.attach_provider(self.provider)
+
+    def create_iouser(self, name: str, mode: RxMode, **kwargs) -> IOUser:
+        return IOUser(self, name, mode, **kwargs)
+
+    def receive(self, packet) -> None:  # Endpoint protocol
+        self.nic.receive(packet)
+
+
+def ethernet_testbed(
+    env: Environment,
+    server_mode: RxMode,
+    server_memory: int = 8 * GB,
+    client_memory: int = 8 * GB,
+    server_rate: float = 12 * Gbps,
+    client_rate: float = 40 * Gbps,
+    ring_size: int = 64,
+    bm_size: Optional[int] = None,
+    costs: Optional[NpfCosts] = None,
+    tcp_params: Optional[TcpParams] = None,
+    backup_size: int = 256,
+) -> Tuple[EthernetHost, EthernetHost, IOUser, IOUser]:
+    """The paper's §6 Ethernet setup: NPF-prototype server + stock client.
+
+    The 12 Gb/s server rate models the packet-duplication cost of the
+    ConnectX-3 prototype (§5); the client keeps its full 40 Gb/s.  Flow
+    control is implicit: links buffer rather than overrun (§6 enables
+    802.3x to mask the rate asymmetry).
+
+    Returns ``(server_host, client_host, server_iouser, client_iouser)``.
+    """
+    server = EthernetHost(env, "server", server_memory, costs=costs,
+                          backup_size=backup_size)
+    client = EthernetHost(env, "client", client_memory, costs=costs)
+    to_server, to_client = connect_back_to_back(
+        env, client, server, rate_bps=client_rate, rate_b_to_a=server_rate
+    )
+    # Mask the 40 -> 12 Gb/s asymmetry like the paper's flow control does:
+    # give the client->server direction the server's effective rate.
+    to_server.rate_bps = min(client_rate, server_rate)
+    server.nic.attach_link(to_client)
+    client.nic.attach_link(to_server)
+    server_user = server.create_iouser(
+        "srv0", server_mode, ring_size=ring_size, bm_size=bm_size,
+        tcp_params=tcp_params,
+    )
+    client_user = client.create_iouser(
+        "cli0", RxMode.PIN, ring_size=512, tcp_params=tcp_params,
+    )
+    return server, client, server_user, client_user

@@ -1,0 +1,67 @@
+"""InfiniBand testbed composition (the paper's §6 cluster nodes)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.costs import NpfCosts
+from ..core.driver import NpfDriver
+from ..iommu.iommu import Iommu
+from ..mem.memory import Memory
+from ..net.link import Link
+from ..nic.infiniband import InfiniBandNic, QueuePair
+from ..sim.engine import Environment
+from ..sim.units import GB, Gbps
+
+__all__ = ["IbHost", "ib_pair", "connected_qp_pair"]
+
+
+class IbHost:
+    """One InfiniBand node: memory + IOMMU + driver + Connect-IB NIC."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        memory_bytes: int = 128 * GB,
+        rate_bps: float = 56 * Gbps,
+        costs: Optional[NpfCosts] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.memory = Memory(memory_bytes)
+        self.iommu = Iommu()
+        self.driver = NpfDriver(env, self.iommu, costs=costs)
+        self.nic = InfiniBandNic(env, name, self.driver, rate_bps=rate_bps,
+                                 costs=costs)
+
+    def receive(self, packet) -> None:  # Endpoint protocol
+        self.nic.receive(packet)
+
+
+def ib_pair(
+    env: Environment,
+    memory_bytes: int = 128 * GB,
+    rate_bps: float = 56 * Gbps,
+    propagation_delay: float = 1e-6,
+    costs: Optional[NpfCosts] = None,
+) -> Tuple[IbHost, IbHost]:
+    """Two nodes of the paper's Connect-IB cluster, cabled together."""
+    a = IbHost(env, "ib-a", memory_bytes, rate_bps, costs)
+    b = IbHost(env, "ib-b", memory_bytes, rate_bps, costs)
+    ab = Link(env, rate_bps, propagation_delay, name="ib-a->b")
+    ba = Link(env, rate_bps, propagation_delay, name="ib-b->a")
+    ab.connect(b.receive)
+    ba.connect(a.receive)
+    a.nic.attach_link(ab)
+    b.nic.attach_link(ba)
+    return a, b
+
+
+def connected_qp_pair(a: IbHost, b: IbHost,
+                      max_outstanding: int = 8) -> Tuple[QueuePair, QueuePair]:
+    """Create and connect one RC QP on each node."""
+    qa = a.nic.create_qp(max_outstanding=max_outstanding)
+    qb = b.nic.create_qp(max_outstanding=max_outstanding)
+    qa.connect(qb)
+    return qa, qb

@@ -1,0 +1,19 @@
+"""IOMMU model: I/O page tables, IOTLB and the ATS/PRI protocol."""
+
+from .ats_pri import PageRequest, PriQueue
+from .iommu import Iommu, Translation
+from .iotlb import Iotlb
+from .nested import FaultLevel, NestedIommu, NestedTranslation
+from .page_table import IoPageTable
+
+__all__ = [
+    "PageRequest",
+    "PriQueue",
+    "Iommu",
+    "Translation",
+    "Iotlb",
+    "IoPageTable",
+    "FaultLevel",
+    "NestedIommu",
+    "NestedTranslation",
+]

@@ -1,0 +1,95 @@
+"""The IOMMU proper: domains, translation and fault detection.
+
+The paper's prototype does not use a host IOMMU — it uses the
+*functionally equivalent* IOMMU embedded in the Connect-IB NIC, whose
+page tables live in host DRAM and are updated by the driver.  This class
+models exactly that contract:
+
+* :meth:`translate` — walk the IOTLB, then the domain's page table; a
+  non-present entry produces a :class:`Translation` with ``fault=True``
+  (the NPF trigger, paper Figure 2 step 1);
+* :meth:`map` / :meth:`unmap` — driver-side page-table updates, with
+  IOTLB shootdown on unmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .iotlb import Iotlb
+from .page_table import IoPageTable
+
+__all__ = ["Iommu", "Translation"]
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of translating one I/O page."""
+
+    domain_id: int
+    iopn: int
+    frame: Optional[int]
+    fault: bool
+    iotlb_hit: bool
+
+
+class Iommu:
+    """A (possibly on-NIC) IOMMU with multiple protection domains."""
+
+    def __init__(self, iotlb_capacity: int = 256):
+        self._domains: Dict[int, IoPageTable] = {}
+        self._next_domain = 1
+        self.iotlb = Iotlb(iotlb_capacity)
+        self.faults = 0
+
+    # -- domain management ---------------------------------------------------
+    def create_domain(self) -> IoPageTable:
+        table = IoPageTable(self._next_domain)
+        self._domains[self._next_domain] = table
+        self._next_domain += 1
+        return table
+
+    def domain(self, domain_id: int) -> IoPageTable:
+        return self._domains[domain_id]
+
+    def destroy_domain(self, domain_id: int) -> None:
+        self._domains.pop(domain_id)
+        self.iotlb.invalidate_domain(domain_id)
+
+    # -- datapath --------------------------------------------------------------
+    def translate(self, domain_id: int, iopn: int) -> Translation:
+        """Translate one I/O page; a non-present PTE is a (N)PF."""
+        cached = self.iotlb.lookup(domain_id, iopn)
+        if cached is not None:
+            return Translation(domain_id, iopn, cached, fault=False, iotlb_hit=True)
+        table = self._domains.get(domain_id)
+        if table is None:
+            raise KeyError(f"no such IOMMU domain: {domain_id}")
+        frame = table.lookup(iopn)
+        if frame is None:
+            self.faults += 1
+            return Translation(domain_id, iopn, None, fault=True, iotlb_hit=False)
+        self.iotlb.fill(domain_id, iopn, frame)
+        return Translation(domain_id, iopn, frame, fault=False, iotlb_hit=False)
+
+    def translate_range(self, domain_id: int, iopn: int, n_pages: int) -> List[Translation]:
+        return [self.translate(domain_id, iopn + i) for i in range(n_pages)]
+
+    # -- driver-side updates -----------------------------------------------------
+    def map(self, domain_id: int, iopn: int, frame: int) -> None:
+        self._domains[domain_id].map(iopn, frame)
+
+    def map_batch(self, domain_id: int, entries: Dict[int, int]) -> None:
+        self._domains[domain_id].map_batch(entries)
+
+    def unmap(self, domain_id: int, iopn: int) -> bool:
+        """Remove the PTE and shoot down the IOTLB entry.
+
+        Returns whether a translation existed (the paper's invalidation
+        flow skips hardware interaction for never-mapped pages).
+        """
+        was_mapped = self._domains[domain_id].unmap(iopn)
+        if was_mapped:
+            self.iotlb.invalidate(domain_id, iopn)
+        return was_mapped

@@ -1,0 +1,64 @@
+"""IOTLB — the IOMMU's translation cache.
+
+Modeled as an LRU over (domain, I/O page) keys.  The driver must shoot
+down cached translations when it unmaps a page (paper Figure 2, steps
+b–c); :meth:`Iotlb.invalidate` is that shootdown.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+__all__ = ["Iotlb"]
+
+
+class Iotlb:
+    """LRU translation cache with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("IOTLB capacity must be >= 1")
+        self.capacity = capacity
+        self._cache: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, domain_id: int, iopn: int) -> Optional[int]:
+        key = (domain_id, iopn)
+        frame = self._cache.get(key)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self.hits += 1
+        return frame
+
+    def fill(self, domain_id: int, iopn: int, frame: int) -> None:
+        key = (domain_id, iopn)
+        self._cache[key] = frame
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+
+    def invalidate(self, domain_id: int, iopn: int) -> bool:
+        """Shoot down one cached translation; returns whether it was cached."""
+        self.invalidations += 1
+        return self._cache.pop((domain_id, iopn), None) is not None
+
+    def invalidate_domain(self, domain_id: int) -> int:
+        """Shoot down every translation of one domain; returns the count."""
+        victims = [key for key in self._cache if key[0] == domain_id]
+        for key in victims:
+            del self._cache[key]
+        self.invalidations += 1
+        return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

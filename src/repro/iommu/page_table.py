@@ -1,0 +1,58 @@
+"""I/O page tables.
+
+One :class:`IoPageTable` per protection domain (in the paper: per
+IOuser / per InfiniBand memory region set).  In the baseline Connect-IB
+implementation every PTE must be valid; the paper's modification is
+precisely to *allow non-present entries* and treat an access through one
+as a network page fault.  Here non-present entries are simply missing
+keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["IoPageTable"]
+
+
+class IoPageTable:
+    """Sparse IOVA-page -> physical-frame mapping for one domain."""
+
+    def __init__(self, domain_id: int):
+        self.domain_id = domain_id
+        self._entries: Dict[int, int] = {}
+        self.maps = 0
+        self.unmaps = 0
+
+    def map(self, iopn: int, frame: int) -> None:
+        """Install a valid translation for I/O page ``iopn``."""
+        if frame < 0:
+            raise ValueError(f"invalid frame {frame!r}")
+        self._entries[iopn] = frame
+        self.maps += 1
+
+    def map_batch(self, entries: Dict[int, int]) -> None:
+        """Install many translations at once (the paper's batched update)."""
+        for iopn, frame in entries.items():
+            self.map(iopn, frame)
+
+    def unmap(self, iopn: int) -> bool:
+        """Remove a translation; returns whether it was present."""
+        if iopn in self._entries:
+            del self._entries[iopn]
+            self.unmaps += 1
+            return True
+        return False
+
+    def lookup(self, iopn: int) -> Optional[int]:
+        """Frame for ``iopn`` or None (non-present: would fault)."""
+        return self._entries.get(iopn)
+
+    def is_mapped(self, iopn: int) -> bool:
+        return iopn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._entries.items())

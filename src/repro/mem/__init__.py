@@ -1,0 +1,24 @@
+"""Virtual memory substrate: frames, address spaces, swap and reclaim."""
+
+from .frames import FrameAllocator, OutOfMemoryError
+from .memory import (
+    AddressSpace,
+    FaultKind,
+    MemCosts,
+    Memory,
+    PageFault,
+    Region,
+)
+from .swap import SwapDevice
+
+__all__ = [
+    "FrameAllocator",
+    "OutOfMemoryError",
+    "AddressSpace",
+    "FaultKind",
+    "MemCosts",
+    "Memory",
+    "PageFault",
+    "Region",
+    "SwapDevice",
+]

@@ -1,0 +1,70 @@
+"""Physical frame allocation.
+
+The simulated host owns a fixed pool of page frames.  Frames are plain
+integers; the allocator tracks only occupancy.  Exhaustion raises
+:class:`OutOfMemoryError` — reclaim (eviction to swap) is the job of
+:class:`repro.mem.memory.Memory`, which wraps this allocator.
+"""
+
+from __future__ import annotations
+
+from ..sim.units import PAGE_SIZE
+
+__all__ = ["FrameAllocator", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(Exception):
+    """No physical frame could be allocated (and nothing was evictable)."""
+
+
+class FrameAllocator:
+    """Fixed pool of physical page frames."""
+
+    def __init__(self, total_bytes: int, page_size: int = PAGE_SIZE):
+        if total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {total_bytes!r}")
+        if page_size <= 0 or total_bytes % page_size:
+            raise ValueError("total_bytes must be a positive multiple of page_size")
+        self.page_size = page_size
+        self.total_frames = total_bytes // page_size
+        self._free: list[int] = []
+        self._next_fresh = 0
+        self._used = 0
+
+    @property
+    def used_frames(self) -> int:
+        return self._used
+
+    @property
+    def free_frames(self) -> int:
+        return self.total_frames - self._used
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used * self.page_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_frames * self.page_size
+
+    def allocate(self) -> int:
+        """Take a free frame; raise :class:`OutOfMemoryError` if none."""
+        if self._used >= self.total_frames:
+            raise OutOfMemoryError(
+                f"all {self.total_frames} frames in use"
+            )
+        self._used += 1
+        if self._free:
+            return self._free.pop()
+        frame = self._next_fresh
+        self._next_fresh += 1
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return ``frame`` to the pool."""
+        if self._used <= 0:
+            raise ValueError("free() with no frames allocated")
+        if not 0 <= frame < self._next_fresh:
+            raise ValueError(f"frame {frame} was never allocated")
+        self._used -= 1
+        self._free.append(frame)

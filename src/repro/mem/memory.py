@@ -1,0 +1,556 @@
+"""Host physical memory, address spaces and demand paging.
+
+This is the virtual-memory substrate the paper's NPF mechanism plugs
+into.  It provides every "canonical memory optimization" from the
+paper's Table 1 that the experiments exercise:
+
+* **demand paging / delayed allocation** — pages materialize on first
+  touch (a *minor* fault);
+* **swapping / overcommitment** — under memory pressure the global LRU
+  evicts unpinned pages to a :class:`~repro.mem.swap.SwapDevice`;
+  touching them again is a *major* fault;
+* **pinning** — pinned pages are exempt from reclaim; pin demand that
+  exceeds physical memory raises :class:`OutOfMemoryError`, which is
+  exactly how static pinning fails in the paper's Table 5;
+* **MMU notifiers** — evictions and unmaps invoke registered notifiers,
+  which is how the ODP driver learns it must invalidate I/O page-table
+  entries (paper Figure 2, right).
+
+State transitions are synchronous; *latencies* are returned as
+:class:`PageFault` records so that the simulated process which incurred
+the fault can ``yield env.timeout(fault.latency)``.  This keeps the
+memory model independently testable without a running event loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..sim.units import PAGE_SHIFT, PAGE_SIZE, us
+from .frames import FrameAllocator, OutOfMemoryError
+from .swap import SwapDevice
+
+__all__ = [
+    "FaultKind",
+    "PageFault",
+    "Region",
+    "AddressSpace",
+    "Memory",
+    "MemCosts",
+    "OutOfMemoryError",
+]
+
+
+class FaultKind(enum.Enum):
+    """How a page became present (or why an access was free)."""
+
+    HIT = "hit"          # already resident
+    MINOR = "minor"      # fresh (zero-fill / delayed allocation)
+    MAJOR = "major"      # read back from swap
+
+
+@dataclass(frozen=True)
+class MemCosts:
+    """CPU-side fault handling costs (seconds).
+
+    The NIC-side NPF costs live in :mod:`repro.core.costs`; these are the
+    ordinary CPU page-fault costs used when application code touches
+    memory directly.
+    """
+
+    minor_fault: float = 2 * us
+    hit: float = 0.0
+
+    def for_kind(self, kind: FaultKind) -> float:
+        if kind is FaultKind.MINOR:
+            return self.minor_fault
+        if kind is FaultKind.HIT:
+            return self.hit
+        raise ValueError("major fault cost comes from the swap device")
+
+
+@dataclass
+class PageFault:
+    """Outcome of making one page present."""
+
+    asid: int
+    vpn: int
+    kind: FaultKind
+    latency: float
+    #: pages evicted (asid, vpn) to make room for this one
+    evictions: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous virtual allocation within one address space."""
+
+    base: int
+    size: int
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def vpns(self) -> range:
+        first = self.base >> PAGE_SHIFT
+        last = (self.end - 1) >> PAGE_SHIFT if self.size else first - 1
+        return range(first, last + 1)
+
+    def page_count(self) -> int:
+        return len(self.vpns())
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+# An MMU notifier: fn(space, vpn) invoked when the page leaves memory.
+# It may return a latency (seconds) to charge to whoever caused the
+# invalidation — e.g. the ODP driver's IOMMU shootdown cost.
+MmuNotifier = Callable[["AddressSpace", int], Optional[float]]
+
+
+class AddressSpace:
+    """A sparse virtual address space with demand paging.
+
+    Created via :meth:`Memory.create_space`.  Page tables are sparse:
+    only touched pages consume model state, so multi-gigabyte spaces are
+    cheap as long as working sets are bounded.
+    """
+
+    _VA_ALIGN = 1 << 21  # regions start 2 MiB-aligned, cosmetic only
+
+    def __init__(self, memory: "Memory", asid: int, name: str):
+        self.memory = memory
+        self.asid = asid
+        self.name = name
+        self._frames: Dict[int, int] = {}      # vpn -> physical frame
+        self._pinned: Dict[int, int] = {}      # vpn -> pin count
+        self._dirty: Set[int] = set()
+        self._discardable: Set[int] = set()    # file-backed: evict = drop
+        self._cow: Set[int] = set()            # write must break the share
+        self._notifiers: List[MmuNotifier] = []
+        self._regions: List[Region] = []
+        self._next_base = self._VA_ALIGN
+        self._closed = False
+
+    # -- layout --------------------------------------------------------------
+    def mmap(self, size: int, name: str = "") -> Region:
+        """Reserve ``size`` bytes of virtual address space (no memory yet)."""
+        if size <= 0:
+            raise ValueError(f"mmap size must be positive, got {size!r}")
+        base = self._next_base
+        region = Region(base=base, size=size, name=name)
+        span = (size + self._VA_ALIGN - 1) // self._VA_ALIGN * self._VA_ALIGN
+        self._next_base = base + span + self._VA_ALIGN
+        self._regions.append(region)
+        return region
+
+    def munmap(self, region: Region) -> None:
+        """Release a region: frees frames and drops swap slots."""
+        if region not in self._regions:
+            raise ValueError(f"{region!r} does not belong to this space")
+        self._regions.remove(region)
+        for vpn in region.vpns():
+            if vpn in self._pinned:
+                raise ValueError(f"cannot unmap pinned page vpn={vpn}")
+            if vpn in self._frames:
+                self._drop_resident(vpn, notify=True)
+            self.memory.swap.discard(self.asid, vpn)
+
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def mark_discardable(self, region: Region) -> None:
+        """Mark a region as file-backed / clean-droppable.
+
+        Evicting its pages writes nothing to swap (the backing store
+        already has the data) and re-touching them is a *minor* fault —
+        the page-cache behaviour: the owner re-reads from its own backing
+        store when it finds the page gone.
+        """
+        self._discardable.update(region.vpns())
+
+    # -- notifier chain ------------------------------------------------------
+    def register_notifier(self, fn: MmuNotifier) -> None:
+        """Register an MMU notifier called as ``fn(space, vpn)`` on invalidation."""
+        self._notifiers.append(fn)
+
+    def unregister_notifier(self, fn: MmuNotifier) -> None:
+        self._notifiers.remove(fn)
+
+    def _notify_invalidate(self, vpn: int) -> float:
+        latency = 0.0
+        for fn in self._notifiers:
+            cost = fn(self, vpn)
+            if cost:
+                latency += cost
+        return latency
+
+    # -- inspection ----------------------------------------------------------
+    def is_present(self, vpn: int) -> bool:
+        return vpn in self._frames
+
+    def translate(self, vpn: int) -> Optional[int]:
+        """Physical frame for ``vpn`` or None if not present."""
+        return self._frames.get(vpn)
+
+    def is_pinned(self, vpn: int) -> bool:
+        return vpn in self._pinned
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._frames) * self.memory.page_size
+
+    @property
+    def pinned_pages(self) -> int:
+        return len(self._pinned)
+
+    @property
+    def pinned_bytes(self) -> int:
+        return len(self._pinned) * self.memory.page_size
+
+    # -- access / faulting -----------------------------------------------------
+    def is_cow(self, vpn: int) -> bool:
+        return vpn in self._cow
+
+    def touch_page(self, vpn: int, write: bool = False) -> PageFault:
+        """Make ``vpn`` present (CPU or DMA access) and return the fault record."""
+        if write and vpn in self._cow and vpn in self._frames:
+            return self.memory._break_cow(self, vpn)
+        fault = self.memory._ensure_present(self, vpn)
+        if write:
+            self._dirty.add(vpn)
+        return fault
+
+    def touch_range(self, addr: int, size: int, write: bool = False) -> List[PageFault]:
+        """Touch every page overlapping ``[addr, addr+size)``."""
+        if size <= 0:
+            return []
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        return [self.touch_page(vpn, write) for vpn in range(first, last + 1)]
+
+    def fault_cost(self, faults: Iterable[PageFault]) -> float:
+        """Total latency of a batch of faults."""
+        return sum(f.latency for f in faults)
+
+    # -- pinning ------------------------------------------------------------
+    def pin_page(self, vpn: int) -> PageFault:
+        """Fault the page in (if needed) and pin it against reclaim."""
+        fault = self.touch_page(vpn)
+        self._pinned[vpn] = self._pinned.get(vpn, 0) + 1
+        self.memory._lru_remove(self.asid, vpn)
+        return fault
+
+    def unpin_page(self, vpn: int) -> None:
+        count = self._pinned.get(vpn)
+        if not count:
+            raise ValueError(f"unpin of unpinned page vpn={vpn}")
+        if count == 1:
+            del self._pinned[vpn]
+            if vpn in self._frames:
+                self.memory._lru_insert(self.asid, vpn)
+        else:
+            self._pinned[vpn] = count - 1
+
+    def pin_range(self, addr: int, size: int) -> List[PageFault]:
+        """Pin every page of ``[addr, addr+size)``; returns the populate faults.
+
+        On failure (physical memory exhausted by pinned pages) the partial
+        pinning is rolled back and :class:`OutOfMemoryError` propagates —
+        the static-pinning failure mode of the paper's Table 5.
+        """
+        if size <= 0:
+            return []
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        done: List[int] = []
+        faults: List[PageFault] = []
+        try:
+            for vpn in range(first, last + 1):
+                faults.append(self.pin_page(vpn))
+                done.append(vpn)
+        except OutOfMemoryError:
+            for vpn in done:
+                self.unpin_page(vpn)
+            raise
+        return faults
+
+    def unpin_range(self, addr: int, size: int) -> None:
+        if size <= 0:
+            return
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        for vpn in range(first, last + 1):
+            self.unpin_page(vpn)
+
+    # -- teardown / internal ----------------------------------------------------
+    def close(self) -> None:
+        """Release everything (process/VM exit)."""
+        if self._closed:
+            return
+        for region in list(self._regions):
+            for vpn in list(region.vpns()):
+                self._pinned.pop(vpn, None)
+                if vpn in self._frames:
+                    self._drop_resident(vpn, notify=True)
+                self.memory.swap.discard(self.asid, vpn)
+        self._regions.clear()
+        self._closed = True
+        self.memory._forget_space(self)
+
+    def _drop_resident(self, vpn: int, notify: bool) -> None:
+        frame = self._frames.pop(vpn)
+        self._dirty.discard(vpn)
+        self._cow.discard(vpn)
+        self.memory._lru_remove(self.asid, vpn)
+        self.memory._release_frame(frame)
+        if notify:
+            self._notify_invalidate(vpn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AddressSpace {self.name!r} asid={self.asid} "
+            f"resident={self.resident_pages}p pinned={self.pinned_pages}p>"
+        )
+
+
+class Memory:
+    """Host physical memory: frame pool + global LRU reclaim + swap."""
+
+    def __init__(
+        self,
+        total_bytes: int,
+        swap: Optional[SwapDevice] = None,
+        costs: Optional[MemCosts] = None,
+        page_size: int = PAGE_SIZE,
+    ):
+        self.allocator = FrameAllocator(total_bytes, page_size)
+        self.page_size = page_size
+        self.swap = swap or SwapDevice(page_size=page_size)
+        self.costs = costs or MemCosts()
+        self._spaces: Dict[int, AddressSpace] = {}
+        self._next_asid = 1
+        # Global LRU of resident, unpinned pages: (asid, vpn) -> None.
+        self._lru: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        # Frames mapped by more than one page (CoW / dedup): frame -> refs.
+        self._frame_refs: Dict[int, int] = {}
+        self.minor_faults = 0
+        self.major_faults = 0
+        self.evictions = 0
+        self.cow_breaks = 0
+        self.deduped_pages = 0
+
+    # -- space management ----------------------------------------------------
+    def create_space(self, name: str = "") -> AddressSpace:
+        asid = self._next_asid
+        self._next_asid += 1
+        space = AddressSpace(self, asid, name or f"space-{asid}")
+        self._spaces[asid] = space
+        return space
+
+    def space(self, asid: int) -> AddressSpace:
+        return self._spaces[asid]
+
+    def _forget_space(self, space: AddressSpace) -> None:
+        self._spaces.pop(space.asid, None)
+
+    @property
+    def spaces(self) -> List[AddressSpace]:
+        return list(self._spaces.values())
+
+    # -- occupancy -------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.allocator.total_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self.allocator.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.total_bytes - self.used_bytes
+
+    # -- LRU maintenance -------------------------------------------------------
+    def _lru_insert(self, asid: int, vpn: int) -> None:
+        self._lru[(asid, vpn)] = None
+        self._lru.move_to_end((asid, vpn))
+
+    def _lru_touch(self, asid: int, vpn: int) -> None:
+        key = (asid, vpn)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+
+    def _lru_remove(self, asid: int, vpn: int) -> None:
+        self._lru.pop((asid, vpn), None)
+
+    # -- faulting / reclaim -----------------------------------------------------
+    def _ensure_present(self, space: AddressSpace, vpn: int) -> PageFault:
+        if vpn in space._frames:
+            self._lru_touch(space.asid, vpn)
+            return PageFault(space.asid, vpn, FaultKind.HIT, self.costs.hit)
+
+        evictions: List[Tuple[int, int]] = []
+        evict_latency = 0.0
+        while True:
+            try:
+                frame = self.allocator.allocate()
+                break
+            except OutOfMemoryError:
+                victim = self._evict_one()
+                if victim is None:
+                    raise
+                evictions.append(victim[0])
+                evict_latency += victim[1]
+
+        space._frames[vpn] = frame
+        self._lru_insert(space.asid, vpn)
+        if self.swap.holds(space.asid, vpn):
+            latency = self.swap.load(space.asid, vpn) + self.costs.minor_fault
+            self.major_faults += 1
+            kind = FaultKind.MAJOR
+        else:
+            latency = self.costs.minor_fault
+            self.minor_faults += 1
+            kind = FaultKind.MINOR
+        return PageFault(space.asid, vpn, kind, latency + evict_latency, evictions)
+
+    def _evict_one(self) -> Optional[Tuple[Tuple[int, int], float]]:
+        """Evict the least-recently-used unpinned page.
+
+        Returns ``((asid, vpn), latency)`` or None if nothing is evictable.
+        """
+        if not self._lru:
+            return None
+        (asid, vpn), _ = self._lru.popitem(last=False)
+        space = self._spaces[asid]
+        frame = space._frames.pop(vpn)
+        space._cow.discard(vpn)
+        self._release_frame(frame)
+        if vpn in space._discardable:
+            # File-backed page: drop it, the backing store has the data.
+            latency = 0.0
+        else:
+            # Anonymous memory: preserve content in swap (dirty or not — we
+            # do not model page contents, so evictions must be reloadable).
+            latency = self.swap.store(asid, vpn)
+        space._dirty.discard(vpn)
+        self.evictions += 1
+        latency += space._notify_invalidate(vpn)
+        return (asid, vpn), latency
+
+    # -- frame sharing (CoW / dedup) -------------------------------------------
+    def _share_frame(self, frame: int) -> None:
+        self._frame_refs[frame] = self._frame_refs.get(frame, 1) + 1
+
+    def _release_frame(self, frame: int) -> None:
+        refs = self._frame_refs.get(frame, 1)
+        if refs > 1:
+            self._frame_refs[frame] = refs - 1
+            return
+        self._frame_refs.pop(frame, None)
+        self.allocator.free(frame)
+
+    def fork_cow(self, parent: AddressSpace, name: str = "") -> AddressSpace:
+        """Fork with copy-on-write semantics (Table 1's CoW optimization).
+
+        The child shares every resident frame of the parent; both sides'
+        pages become CoW, so the first *write* on either side allocates a
+        private copy.  Reads stay shared indefinitely — this is how VM
+        cloning and deduplication keep memory use proportional to the
+        *divergence* of the spaces, not their size.
+        """
+        child = self.create_space(name or f"{parent.name}-fork")
+        child._regions = list(parent._regions)
+        child._next_base = parent._next_base
+        child._discardable = set(parent._discardable)
+        for vpn, frame in parent._frames.items():
+            if vpn in parent._pinned:
+                continue  # pinned pages stay exclusive to the parent
+            child._frames[vpn] = frame
+            self._share_frame(frame)
+            self._lru_insert(child.asid, vpn)
+            parent._cow.add(vpn)
+            child._cow.add(vpn)
+        return child
+
+    def dedup(self, a: AddressSpace, vpn_a: int, b: AddressSpace,
+              vpn_b: int) -> bool:
+        """Merge two identical pages into one frame (Table 1's dedup).
+
+        Content equality is the caller's assertion (contents are not
+        modelled).  Both pages become CoW; a later write on either side
+        breaks the share.  Returns False if either page is non-resident
+        or pinned (pinned pages must keep their frames).
+        """
+        if vpn_a not in a._frames or vpn_b not in b._frames:
+            return False
+        if vpn_a in a._pinned or vpn_b in b._pinned:
+            return False
+        if a._frames[vpn_a] == b._frames[vpn_b]:
+            return False
+        keeper = a._frames[vpn_a]
+        victim = b._frames[vpn_b]
+        b._frames[vpn_b] = keeper
+        self._share_frame(keeper)
+        self._release_frame(victim)
+        a._cow.add(vpn_a)
+        b._cow.add(vpn_b)
+        # The victim's old translation is gone: notify (NIC PTEs must go).
+        b._notify_invalidate(vpn_b)
+        self.deduped_pages += 1
+        return True
+
+    def _break_cow(self, space: AddressSpace, vpn: int) -> PageFault:
+        """First write to a CoW page: private copy, old mapping invalidated."""
+        shared_frame = space._frames[vpn]
+        evictions: List[Tuple[int, int]] = []
+        evict_latency = 0.0
+        while True:
+            try:
+                frame = self.allocator.allocate()
+                break
+            except OutOfMemoryError:
+                victim = self._evict_one()
+                if victim is None:
+                    raise
+                evictions.append(victim[0])
+                evict_latency += victim[1]
+        space._frames[vpn] = frame
+        self._release_frame(shared_frame)
+        space._cow.discard(vpn)
+        space._dirty.add(vpn)
+        self.cow_breaks += 1
+        self.minor_faults += 1
+        # The translation changed: anything caching it (IOTLB!) is stale.
+        invalidate_latency = space._notify_invalidate(vpn)
+        copy_latency = self.page_size / (5 * 1024 ** 3)  # one page memcpy
+        return PageFault(
+            space.asid, vpn, FaultKind.MINOR,
+            self.costs.minor_fault + copy_latency + evict_latency
+            + invalidate_latency,
+            evictions,
+        )
+
+    def reclaim(self, n_pages: int) -> Tuple[int, float]:
+        """Proactively evict up to ``n_pages``; returns (evicted, latency)."""
+        evicted = 0
+        latency = 0.0
+        for _ in range(n_pages):
+            victim = self._evict_one()
+            if victim is None:
+                break
+            evicted += 1
+            latency += victim[1]
+        return evicted, latency

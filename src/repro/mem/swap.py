@@ -1,0 +1,68 @@
+"""Secondary storage backing evicted pages.
+
+The swap device is deliberately simple: a set of swapped-out page
+identities plus a latency model.  A swap-in (major fault) costs a seek
+plus a per-page transfer; the paper's §3 uses ~10 ms as the canonical
+major-fault resolution time, which is this model's default seek.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ..sim.units import MB, PAGE_SIZE, ms
+
+__all__ = ["SwapDevice"]
+
+
+class SwapDevice:
+    """Latency model + occupancy tracking for swapped pages."""
+
+    def __init__(
+        self,
+        seek_time: float = 10 * ms,
+        bandwidth_bytes_per_sec: float = 150 * MB,
+        page_size: int = PAGE_SIZE,
+    ):
+        if seek_time < 0 or bandwidth_bytes_per_sec <= 0:
+            raise ValueError("invalid swap device parameters")
+        self.seek_time = seek_time
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.page_size = page_size
+        self._slots: Set[Tuple[int, int]] = set()
+        self.reads = 0
+        self.writes = 0
+
+    # -- occupancy ---------------------------------------------------------
+    def holds(self, asid: int, vpn: int) -> bool:
+        return (asid, vpn) in self._slots
+
+    @property
+    def used_pages(self) -> int:
+        return len(self._slots)
+
+    def store(self, asid: int, vpn: int) -> float:
+        """Write a page out; returns the write latency to charge."""
+        self._slots.add((asid, vpn))
+        self.writes += 1
+        return self.write_latency(1)
+
+    def load(self, asid: int, vpn: int) -> float:
+        """Read a page back in; returns the read latency to charge."""
+        if (asid, vpn) not in self._slots:
+            raise KeyError(f"page (asid={asid}, vpn={vpn}) not in swap")
+        self._slots.remove((asid, vpn))
+        self.reads += 1
+        return self.read_latency(1)
+
+    def discard(self, asid: int, vpn: int) -> None:
+        """Drop a swapped page without reading it (space teardown)."""
+        self._slots.discard((asid, vpn))
+
+    # -- latency model ------------------------------------------------------
+    def read_latency(self, n_pages: int) -> float:
+        return self.seek_time + (n_pages * self.page_size) / self.bandwidth
+
+    def write_latency(self, n_pages: int) -> float:
+        # Writebacks are asynchronous on real systems; charge transfer only.
+        return (n_pages * self.page_size) / self.bandwidth

@@ -1,0 +1,18 @@
+"""Network fabric: packets, links, switches and topology helpers."""
+
+from .fabric import connect_back_to_back, star
+from .link import Link
+from .packet import ETHERNET_HEADER, ETHERNET_MTU, IB_HEADER, IB_MTU, Packet
+from .switch import Switch
+
+__all__ = [
+    "connect_back_to_back",
+    "star",
+    "Link",
+    "Packet",
+    "Switch",
+    "ETHERNET_HEADER",
+    "ETHERNET_MTU",
+    "IB_HEADER",
+    "IB_MTU",
+]

@@ -1,0 +1,83 @@
+"""Topology helpers: wire endpoints together with links or a switch.
+
+Endpoints are any objects exposing ``name`` (str) and ``receive(packet)``.
+:func:`connect_back_to_back` reproduces the paper's Ethernet testbed (two
+servers, NICs cabled directly); :func:`star` reproduces the InfiniBand
+cluster (eight servers through one SwitchX-2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Protocol, Tuple
+
+from ..sim.engine import Environment
+from .link import Link
+from .packet import Packet
+from .switch import Switch
+
+__all__ = ["Endpoint", "connect_back_to_back", "star"]
+
+
+class Endpoint(Protocol):
+    """Anything that can terminate a link."""
+
+    name: str
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+def connect_back_to_back(
+    env: Environment,
+    a: Endpoint,
+    b: Endpoint,
+    rate_bps: float,
+    propagation_delay: float = 1e-6,
+    rate_b_to_a: float | None = None,
+) -> Tuple[Link, Link]:
+    """Cable two endpoints directly; returns (link a->b, link b->a).
+
+    ``rate_b_to_a`` allows asymmetric NICs, like the paper's 12 Gb/s
+    NPF prototype server facing a 40 Gb/s stock client.
+    """
+    ab = Link(env, rate_bps, propagation_delay, name=f"{a.name}->{b.name}")
+    ba = Link(
+        env,
+        rate_b_to_a if rate_b_to_a is not None else rate_bps,
+        propagation_delay,
+        name=f"{b.name}->{a.name}",
+    )
+    ab.connect(b.receive)
+    ba.connect(a.receive)
+    return ab, ba
+
+
+def star(
+    env: Environment,
+    endpoints: Iterable[Endpoint],
+    rate_bps: float,
+    propagation_delay: float = 0.5e-6,
+    flow_control: bool = True,
+) -> Tuple[Switch, Dict[str, Link]]:
+    """Wire every endpoint to one switch; returns (switch, uplinks-by-name).
+
+    Each endpoint gets an uplink into the switch; the switch owns one
+    egress link per endpoint.  Upstream registration enables congestion-
+    spreading experiments.
+    """
+    switch = Switch(env, flow_control=flow_control)
+    uplinks: Dict[str, Link] = {}
+    endpoint_list = list(endpoints)
+    for ep in endpoint_list:
+        uplink = Link(env, rate_bps, propagation_delay, name=f"{ep.name}->sw")
+        uplink.connect(switch.receive)
+        uplinks[ep.name] = uplink
+        downlink = Link(env, rate_bps, propagation_delay, name=f"sw->{ep.name}")
+        downlink.connect(ep.receive)
+        switch.attach(ep.name, downlink)
+    # Every uplink potentially feeds every destination.
+    for ep in endpoint_list:
+        for other in endpoint_list:
+            if other is not ep:
+                switch.register_upstream(other.name, uplinks[ep.name])
+    return switch, uplinks

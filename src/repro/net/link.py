@@ -1,0 +1,98 @@
+"""Point-to-point links with serialization, propagation and PAUSE.
+
+A :class:`Link` is unidirectional: packets are queued, serialized at
+the link rate, propagated after a fixed delay, and handed to the
+receiver callback.  :meth:`pause`/:meth:`resume` model IEEE 802.3x
+flow control — while paused the serializer stalls and the bounded
+transmit buffer fills; overflow drops packets (or, at a switch, forces
+the pause to spread upstream, see :mod:`repro.net.switch`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.engine import Environment
+from ..sim.queues import Store
+from ..sim.resources import Gate
+from ..sim.units import transfer_time
+from .packet import Packet
+
+__all__ = ["Link"]
+
+Receiver = Callable[[Packet], None]
+
+
+class Link:
+    """Unidirectional link: ``send()`` → serialize → propagate → deliver."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_bps: float,
+        propagation_delay: float = 1e-6,
+        buffer_packets: int = 1024,
+        name: str = "link",
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.env = env
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        self.name = name
+        self._queue: Store[Packet] = Store(env, capacity=buffer_packets)
+        self._pause_gate = Gate(env, open_=True)
+        self._receiver: Optional[Receiver] = None
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.dropped_packets = 0
+        env.process(self._serializer(), name=f"{name}-tx")
+
+    # -- wiring -----------------------------------------------------------
+    def connect(self, receiver: Receiver) -> None:
+        """Attach the far end's packet handler."""
+        self._receiver = receiver
+
+    # -- datapath -----------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a packet; returns False if the tx buffer overflowed."""
+        if not self._queue.try_put(packet):
+            self.dropped_packets += 1
+            return False
+        return True
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self._queue)
+
+    # -- flow control ---------------------------------------------------------
+    def pause(self) -> None:
+        """Assert link-level flow control (802.3x PAUSE)."""
+        self._pause_gate.close()
+
+    def resume(self) -> None:
+        self._pause_gate.open()
+
+    @property
+    def is_paused(self) -> bool:
+        return not self._pause_gate.is_open
+
+    # -- internals ---------------------------------------------------------------
+    def _serializer(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self._pause_gate.wait()
+            yield self.env.timeout(transfer_time(packet.size, self.rate_bps))
+            self.sent_packets += 1
+            self.sent_bytes += packet.size
+            # Propagation happens off the serializer's critical path.
+            self.env.schedule_callback(
+                self.propagation_delay, lambda p=packet: self._deliver(p)
+            )
+
+    def _deliver(self, packet: Packet) -> None:
+        if self._receiver is None:
+            raise RuntimeError(f"link {self.name!r} delivered into the void")
+        self._receiver(packet)

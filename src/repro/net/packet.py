@@ -1,0 +1,54 @@
+"""Wire-level packet representation.
+
+Packets are deliberately protocol-agnostic: transports (TCP-like,
+InfiniBand RC/UD) stack their own header fields in ``payload`` and tag
+``kind`` so NICs and switches can steer without understanding them.
+Sizes are bytes on the wire, used only for serialization-delay
+modelling; payload *contents* are never simulated byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Packet", "ETHERNET_MTU", "ETHERNET_HEADER", "IB_MTU", "IB_HEADER"]
+
+# Conventional constants for the two fabrics the paper evaluates.
+ETHERNET_MTU = 1500        # payload bytes per Ethernet frame
+ETHERNET_HEADER = 66       # Ethernet + IP + TCP headers, rounded
+IB_MTU = 4096              # InfiniBand MTU used by Connect-IB setups
+IB_HEADER = 30             # LRH + BTH + ICRC etc., rounded
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One unit of traffic on a link.
+
+    ``flow`` identifies the connection/stream for steering and for the
+    paper's *stream isolation* accounting (unrelated flows must not be
+    disturbed by another flow's page faults).
+    """
+
+    src: str
+    dst: str
+    size: int
+    kind: str = "data"
+    flow: str = ""
+    #: IOchannel (virtual NIC instance) the packet is steered to
+    channel: str = ""
+    payload: Any = None
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet#{self.pid}({self.kind} {self.src}->{self.dst} "
+            f"{self.size}B flow={self.flow!r})"
+        )

@@ -1,0 +1,83 @@
+"""Output-queued switch with optional link-level flow control.
+
+Used for the InfiniBand cluster topology (the paper's SwitchX-2) and
+for demonstrating *congestion spreading*: when a receiver asserts PAUSE,
+the switch buffers its traffic; once the output buffer fills, the switch
+must pause its own upstream ports, stalling unrelated flows — precisely
+the behaviour the paper's §3 "stream isolation" requirement forbids as
+an rNPF solution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.engine import Environment
+from .link import Link
+from .packet import Packet
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """Forwards packets between attached links by destination name."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "switch",
+        flow_control: bool = True,
+        buffer_per_port: int = 256,
+    ):
+        self.env = env
+        self.name = name
+        self.flow_control = flow_control
+        self.buffer_per_port = buffer_per_port
+        self._ports: Dict[str, Link] = {}       # destination name -> egress link
+        self._ingress: Dict[str, List[Link]] = {}  # dest -> upstream links feeding it
+        self.forwarded = 0
+        self.dropped = 0
+        self.upstream_pauses = 0
+
+    # -- wiring --------------------------------------------------------------
+    def attach(self, destination: str, egress: Link) -> None:
+        """Register the egress link that reaches ``destination``."""
+        self._ports[destination] = egress
+
+    def register_upstream(self, destination: str, ingress: Link) -> None:
+        """Record that ``ingress`` carries traffic towards ``destination``.
+
+        Needed only when modelling congestion spreading: when the egress
+        for ``destination`` saturates, these upstream links get paused.
+        """
+        self._ingress.setdefault(destination, []).append(ingress)
+
+    def receive(self, packet: Packet) -> None:
+        """Ingress handler: forward to the packet's destination port."""
+        egress = self._ports.get(packet.dst)
+        if egress is None:
+            self.dropped += 1
+            return
+        accepted = egress.send(packet)
+        if accepted:
+            self.forwarded += 1
+        else:
+            self.dropped += 1
+        if self.flow_control:
+            self._update_backpressure(packet.dst, egress)
+
+    # -- congestion spreading ----------------------------------------------------
+    def _update_backpressure(self, destination: str, egress: Link) -> None:
+        upstreams = self._ingress.get(destination, [])
+        nearly_full = egress.queued_packets >= self.buffer_per_port
+        for upstream in upstreams:
+            if nearly_full and not upstream.is_paused:
+                upstream.pause()
+                self.upstream_pauses += 1
+            elif not nearly_full and upstream.is_paused:
+                upstream.resume()
+
+    def relieve(self) -> None:
+        """Re-evaluate backpressure (call when an egress drains)."""
+        for destination, egress in self._ports.items():
+            self._update_backpressure(destination, egress)

@@ -1,0 +1,18 @@
+"""NIC models: rings, interrupts, backup ring, Ethernet and InfiniBand."""
+
+from .backup_ring import BackupEntry, BackupRing
+from .ethernet import EthChannel, EthernetNic, RxMode
+from .interrupts import InterruptLine
+from .rings import RingStats, RxDescriptor, RxRing
+
+__all__ = [
+    "BackupEntry",
+    "BackupRing",
+    "EthChannel",
+    "EthernetNic",
+    "RxMode",
+    "InterruptLine",
+    "RingStats",
+    "RxDescriptor",
+    "RxRing",
+]

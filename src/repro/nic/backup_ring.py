@@ -1,0 +1,68 @@
+"""The IOprovider's pinned backup ring (paper §5, Figure 5/6).
+
+When an incoming packet hits an rNPF on an IOuser ring, the NIC steers
+it here instead of dropping it, together with the metadata the
+IOprovider needs to merge it back: the channel, the target ring index
+and the fault's bitmap position.  The ring is small and pinned — the
+IOprovider replenishes it promptly from interrupt context, so its
+capacity bounds only the *burst* of in-flight faulting packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.packet import Packet  # noqa: F401 - dataclass field type
+
+__all__ = ["BackupEntry", "BackupRing"]
+
+
+@dataclass
+class BackupEntry:
+    """Figure 6's ``{r.id, head, bit_index, pkt}`` metadata record."""
+
+    channel: str
+    ring_index: int
+    bit_index: int
+    packet: Packet
+    #: §6.4 synthetic faults: absolute time the injected fault resolves
+    injected: Optional[float] = None
+
+
+class BackupRing:
+    """Bounded FIFO of faulting packets, owned by the IOprovider."""
+
+    def __init__(self, size: int = 256):
+        if size < 1:
+            raise ValueError("backup ring size must be >= 1")
+        self.size = size
+        self._entries: List[BackupEntry] = []
+        self.stored = 0
+        self.dropped = 0
+        self.high_watermark = 0
+
+    def has_room(self) -> bool:
+        return len(self._entries) < self.size
+
+    def store(self, entry: BackupEntry) -> bool:
+        """NIC side: stash a faulting packet; False when full (drop)."""
+        if not self.has_room():
+            self.dropped += 1
+            return False
+        self._entries.append(entry)
+        self.stored += 1
+        self.high_watermark = max(self.high_watermark, len(self._entries))
+        return True
+
+    def drain(self) -> List[BackupEntry]:
+        """IOprovider side: take everything (replenishes the ring)."""
+        entries = self._entries
+        self._entries = []
+        return entries
+
+    def pop(self) -> Optional[BackupEntry]:
+        return self._entries.pop(0) if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

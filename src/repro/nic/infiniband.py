@@ -1,0 +1,519 @@
+"""The InfiniBand NIC and RC queue pairs (paper §4).
+
+The model is message-granular: each work request travels the wire as one
+packet whose serialization time reflects its full size (per-MTU header
+overhead is folded into an efficiency factor).  What is modelled
+faithfully is the paper's NPF machinery:
+
+* **send NPFs** — the sender's firmware simply suspends that QP's send
+  pipeline while the driver resolves the fault (the data is local);
+* **receive NPFs** — the firmware emits an **RNR NACK**; the sender
+  backs off for the RNR timer and retransmits, while the receiver's
+  driver resolves the fault.  Nothing else on the wire is affected
+  (stream isolation), and packet loss is decoupled from congestion
+  control, exactly as §4 argues;
+* **receiver-not-ready without a posted buffer** — the classic RNR case,
+  same NACK path;
+* **RDMA reads** — the initiator writing response data into a faulting
+  page cannot RNR-NACK the responder (RC has no such verb); it must
+  drop the response, resolve, and *rewind* — re-issue the read after a
+  timeout.  This is the protocol gap §4 recommends fixing.
+
+Synthetic fault injection (for the paper's §6.4 what-if analysis) is a
+hook on the QP: ``inject_rnpf(message) -> None | "minor" | "major"``.
+Injected faults exercise the same NACK/suspend/rewind paths but draw
+their resolution time from the cost model instead of touching memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.costs import NpfCosts
+from ..core.driver import NpfDriver
+from ..core.npf import NpfSide
+from ..core.regions import OdpMemoryRegion
+from ..net.link import Link
+from ..net.packet import IB_HEADER, IB_MTU, Packet
+from ..sim.engine import Environment
+from ..sim.queues import Store
+from ..sim.resources import Resource
+from ..sim.units import PAGE_SHIFT, Gbps, pages_for
+from ..transport.verbs import CompletionQueue, Opcode, RecvWr, SendWr, Wc, WcStatus
+
+__all__ = ["InfiniBandNic", "QueuePair"]
+
+_qp_ids = itertools.count(1)
+
+
+@dataclass
+class IbMessage:
+    """Wire representation of one work request (or read response)."""
+
+    qp_id: int
+    opcode: Opcode
+    length: int
+    wr_id: int
+    remote_addr: int = 0
+    #: initiator-side buffer (where SEND sources / read responses land)
+    local_addr: int = 0
+    is_read_response: bool = False
+    retry: int = 0
+    #: packet sequence number — RC delivers strictly in order
+    seq: int = -1
+
+
+class QueuePair:
+    """One RC connection endpoint."""
+
+    MAX_RNR_RETRIES = 64
+
+    def __init__(self, nic: "InfiniBandNic", send_cq: CompletionQueue,
+                 recv_cq: CompletionQueue, max_outstanding: int = 8,
+                 rnr_for_reads: bool = False):
+        self.nic = nic
+        self.env = nic.env
+        self.qp_id = next(_qp_ids)
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        #: §4's proposed RC extension: end-to-end flow control for remote
+        #: reads.  When enabled, a faulting read *initiator* can ask the
+        #: responder to pause-and-retransmit (like RNR NACK) instead of
+        #: dropping everything and rewinding after a timeout.
+        self.rnr_for_reads = rnr_for_reads
+        self.remote: Optional["QueuePair"] = None
+        self._send_queue: Store[SendWr] = Store(self.env)
+        self._recv_queue: Store[RecvWr] = Store(self.env)
+        self._window = Resource(self.env, max_outstanding)
+        #: §6.4 hook: decide whether an incoming message synthetically faults
+        self.inject_rnpf: Optional[Callable[[IbMessage], Optional[str]]] = None
+        # RC sequencing state.
+        self._next_seq = 0            # sender: next PSN to assign
+        self._inflight: Dict[int, IbMessage] = {}  # seq -> unacked message
+        self._paused = False          # sender: rewinding after an RNR NACK
+        self._expected_seq = 0        # receiver: next in-order PSN
+        # Counters.
+        self.rnr_nacks_sent = 0
+        self.rnr_retries = 0
+        self.read_rewinds = 0
+        self.read_rnr_nacks = 0
+        self.send_faults = 0
+        self.messages_received = 0
+        self.bytes_received = 0
+        self._injected_pending: Dict[int, float] = {}  # wr_id -> ready time
+        self.env.process(self._sender(), name=f"qp{self.qp_id}-send")
+
+    # -- wiring -------------------------------------------------------------
+    def connect(self, remote: "QueuePair") -> None:
+        self.remote = remote
+        remote.remote = self
+
+    @property
+    def name(self) -> str:
+        return f"qp{self.qp_id}"
+
+    # -- verbs ------------------------------------------------------------------
+    def post_send(self, wr: SendWr) -> None:
+        if self.remote is None:
+            raise RuntimeError("post_send on an unconnected QP")
+        self._send_queue.put_nowait(wr)
+
+    def post_recv(self, wr: RecvWr) -> None:
+        self._recv_queue.put_nowait(wr)
+
+    # -- send pipeline ---------------------------------------------------------------
+    def _sender(self):
+        while True:
+            wr = yield self._send_queue.get()
+            yield self._window.acquire()
+            yield from self._resolve_local_fault(wr)
+            message = IbMessage(
+                qp_id=self.remote.qp_id,
+                opcode=wr.opcode,
+                length=wr.length,
+                wr_id=wr.wr_id,
+                remote_addr=wr.remote_addr,
+                local_addr=wr.local_addr,
+            )
+            if wr.opcode is Opcode.RDMA_READ:
+                self.nic.transmit_control(message)
+            else:
+                message.seq = self._next_seq
+                self._next_seq += 1
+                self._inflight[message.seq] = message
+                if not self._paused:
+                    self.nic.transmit_data(message)
+                # While paused (RNR rewind in progress) the message just
+                # joins the inflight window; the rewind will transmit it.
+
+    def _resolve_local_fault(self, wr: SendWr):
+        """Send-side NPF: data is local, just suspend until resolved."""
+        mr = wr.mr
+        if isinstance(mr, OdpMemoryRegion) and wr.opcode is not Opcode.RDMA_READ:
+            first = wr.local_addr >> PAGE_SHIFT
+            n_pages = pages_for(wr.length) or 1
+            if mr.unmapped_vpns(first, n_pages):
+                self.send_faults += 1
+                yield self.env.process(
+                    self.nic.driver.service_fault(
+                        mr, first, n_pages, NpfSide.SEND, self.name
+                    )
+                )
+
+    def _complete_send(self, message: IbMessage,
+                       status: WcStatus = WcStatus.SUCCESS) -> None:
+        if message.seq >= 0:
+            if message.seq not in self._inflight:
+                return  # duplicate ACK for an already-completed PSN
+            del self._inflight[message.seq]
+        self._window.release()
+        self.send_cq.push(Wc(message.wr_id, message.opcode, message.length, status))
+
+    # -- NACK / retransmission ---------------------------------------------------------
+    def handle_rnr_nack(self, nack: IbMessage) -> None:
+        """Peer asked us to pause: rewind to the NACKed PSN (go-back-N)."""
+        self.rnr_retries += 1
+        message = self._inflight.get(nack.seq)
+        if message is None:
+            return  # stale NACK for a completed PSN
+        message.retry += 1
+        if message.retry > self.MAX_RNR_RETRIES:
+            self._complete_send(message, WcStatus.RNR_RETRY_EXCEEDED)
+            return
+        if self._paused:
+            return  # a rewind is already pending
+        self._paused = True
+        self.env.process(self._rewind_from(nack.seq, message.retry),
+                         name=f"{self.name}-rnr")
+
+    def _rewind_from(self, seq: int, retry: int):
+        # Exponential RNR backoff: repeated NACKs for the same PSN mean a
+        # slow (e.g. major) fault; don't hammer the receiver meanwhile.
+        backoff = min(
+            self.nic.costs.rnr_timer * (2 ** min(retry - 1, 6)), 0.010
+        )
+        yield self.env.timeout(backoff)
+        self._paused = False
+        for s in sorted(self._inflight):
+            if s >= seq:
+                self.nic.transmit_data(self._inflight[s])
+
+    # -- receive path (called by the NIC on message arrival) -----------------------------
+    def receive(self, message: IbMessage) -> None:
+        if message.is_read_response:
+            self._receive_read_response(message)
+        elif message.opcode is Opcode.RDMA_READ:
+            self._serve_read_request(message)
+        else:
+            self._receive_in_order(message)
+
+    def _receive_in_order(self, message: IbMessage) -> None:
+        """RC delivers data strictly by PSN.
+
+        A message past the expected PSN arrived while an older one is
+        being NACKed/resolved: it is dropped on the floor — the paper's
+        "some data is still dropped — until the RNR NACK arrives" — and
+        the sender's go-back-N rewind will resend it in order.
+        """
+        if message.seq < self._expected_seq:
+            self._ack(message)  # duplicate of delivered data: re-ACK
+            return
+        if message.seq > self._expected_seq:
+            return
+        if message.opcode is Opcode.SEND:
+            self._receive_send(message)
+        else:
+            self._receive_rdma_write(message)
+
+    def _receive_send(self, message: IbMessage) -> None:
+        recv_wr = self._recv_queue.peek()
+        if recv_wr is None:
+            # Classic receiver-not-ready: no posted buffer.
+            self._send_rnr_nack(message)
+            return
+        fault = self._incoming_fault(message, recv_wr.addr, recv_wr.mr)
+        if fault:
+            self._send_rnr_nack(message)
+            self._start_resolution(message, recv_wr.addr, recv_wr.mr, fault,
+                                   NpfSide.RECEIVE)
+            return
+        self._recv_queue.get_nowait()
+        self._expected_seq += 1
+        self.messages_received += 1
+        self.bytes_received += message.length
+        self.recv_cq.push(Wc(recv_wr.wr_id, Opcode.SEND, message.length))
+        self._ack(message)
+
+    def _receive_rdma_write(self, message: IbMessage) -> None:
+        mr = self.nic.resolve_mr(message.remote_addr)
+        fault = self._incoming_fault(message, message.remote_addr, mr)
+        if fault:
+            self._send_rnr_nack(message)
+            self._start_resolution(message, message.remote_addr, mr, fault,
+                                   NpfSide.RDMA_WRITE_RESPONDER)
+            return
+        self._expected_seq += 1
+        self.messages_received += 1
+        self.bytes_received += message.length
+        self._ack(message)
+
+    def _serve_read_request(self, message: IbMessage) -> None:
+        """Responder side of an RDMA read: stream the data back."""
+        self.env.process(self._read_responder(message), name=f"{self.name}-read")
+
+    def _read_responder(self, message: IbMessage):
+        # Responder-side fault on the *source* pages: local data, just wait.
+        mr = self.nic.resolve_mr(message.remote_addr)
+        if isinstance(mr, OdpMemoryRegion):
+            first = message.remote_addr >> PAGE_SHIFT
+            n_pages = pages_for(message.length) or 1
+            if mr.unmapped_vpns(first, n_pages):
+                yield self.env.process(
+                    self.nic.driver.service_fault(
+                        mr, first, n_pages, NpfSide.SEND, self.name
+                    )
+                )
+        response = IbMessage(
+            qp_id=self.remote.qp_id, opcode=Opcode.RDMA_READ,
+            length=message.length, wr_id=message.wr_id,
+            remote_addr=message.remote_addr, local_addr=message.local_addr,
+            is_read_response=True, retry=message.retry,
+        )
+        # Response flows back over our own data path.
+        self.nic.transmit_data(response, to_peer_of=self)
+
+    def _receive_read_response(self, message: IbMessage) -> None:
+        """Initiator side: response data lands in *our* memory — it can fault.
+
+        RC has no way to RNR-NACK a read responder, so a fault forces the
+        initiator to drop the data, resolve, and re-issue (rewind).
+        """
+        wr_addr = message.local_addr
+        mr = self.nic.resolve_mr(wr_addr)
+        fault = self._incoming_fault(message, wr_addr, mr,
+                                     side=NpfSide.RDMA_READ_INITIATOR)
+        if fault:
+            if self.rnr_for_reads:
+                # The paper's recommended standard extension: suspend the
+                # responder with an RNR-style NACK and retransmit once the
+                # fault is resolved — no rewind timeout, no wasted data
+                # beyond what was in flight.
+                self.read_rnr_nacks += 1
+                self._start_resolution(message, wr_addr, mr, fault,
+                                       NpfSide.RDMA_READ_INITIATOR)
+                self.env.process(
+                    self._reissue_read_after_rnr(message),
+                    name=f"{self.name}-read-rnr",
+                )
+                return
+            self.read_rewinds += 1
+            self.env.process(
+                self._rewind_read(message, wr_addr, mr, fault),
+                name=f"{self.name}-rewind",
+            )
+            return
+        self.messages_received += 1
+        self.bytes_received += message.length
+        self._complete_send(message)
+
+    def _reissue_read_after_rnr(self, message: IbMessage):
+        """Extension path: back off for the RNR timer, then re-request.
+
+        By then the resolution (started in parallel) has usually finished,
+        so the retransmitted response lands — total cost ≈ one fault, not
+        fault + rewind timeout + full retransmission delay.
+        """
+        yield self.env.timeout(self.nic.costs.rnr_timer)
+        request = IbMessage(
+            qp_id=self.remote.qp_id, opcode=Opcode.RDMA_READ,
+            length=message.length, wr_id=message.wr_id,
+            remote_addr=message.remote_addr, local_addr=message.local_addr,
+            retry=message.retry + 1,
+        )
+        self.nic.transmit_control(request)
+
+    def _rewind_read(self, message: IbMessage, addr: int, mr, fault: str):
+        # Resolve the fault, then re-issue the read after the rewind timeout.
+        yield from self._resolution_body(message, addr, mr, fault,
+                                         NpfSide.RDMA_READ_INITIATOR)
+        yield self.env.timeout(self.nic.costs.read_rewind_timeout)
+        message.retry += 1
+        request = IbMessage(
+            qp_id=self.remote.qp_id, opcode=Opcode.RDMA_READ,
+            length=message.length, wr_id=message.wr_id,
+            remote_addr=message.remote_addr, local_addr=message.local_addr,
+            retry=message.retry,
+        )
+        self.nic.transmit_control(request)
+
+    # -- fault plumbing -----------------------------------------------------------------
+    def _incoming_fault(self, message: IbMessage, addr: int, mr,
+                        side: NpfSide = NpfSide.RECEIVE) -> Optional[str]:
+        """Would DMA-ing this message into ``addr`` fault?  Returns kind."""
+        if message.wr_id in self._injected_pending:
+            if self.env.now >= self._injected_pending[message.wr_id]:
+                del self._injected_pending[message.wr_id]
+                return None
+            return "pending"
+        if self.inject_rnpf is not None:
+            kind = self.inject_rnpf(message)
+            if kind:
+                return kind
+        if isinstance(mr, OdpMemoryRegion):
+            first = addr >> PAGE_SHIFT
+            if mr.unmapped_vpns(first, pages_for(message.length) or 1):
+                return "real"
+        return None
+
+    def _send_rnr_nack(self, message: IbMessage) -> None:
+        self.rnr_nacks_sent += 1
+        self.nic.transmit_nack(message, to_peer_of=self)
+
+    def _start_resolution(self, message: IbMessage, addr: int, mr, fault: str,
+                          side: NpfSide) -> None:
+        if fault == "pending":
+            return  # resolution already in flight (firmware bypass)
+        self.env.process(
+            self._resolution_body(message, addr, mr, fault, side),
+            name=f"{self.name}-npf",
+        )
+
+    def _resolution_body(self, message: IbMessage, addr: int, mr, fault: str,
+                         side: NpfSide):
+        if fault == "real":
+            first = addr >> PAGE_SHIFT
+            yield self.env.process(
+                self.nic.driver.service_fault(
+                    mr, first, pages_for(message.length) or 1, side, self.name
+                )
+            )
+        elif fault in ("minor", "major"):
+            # Injected fault: charge the calibrated resolution time.
+            swap = self.nic.costs_swap_latency if fault == "major" else 0.0
+            breakdown = self.nic.costs.npf_breakdown(
+                pages_for(message.length) or 1, swap_latency=swap
+            )
+            ready = self.env.now + breakdown.total
+            # The entry stays until a post-resolution arrival consumes it
+            # (injection must fire once per message, not per retransmit).
+            self._injected_pending[message.wr_id] = ready
+            yield self.env.timeout(breakdown.total)
+        elif fault == "pending":
+            return
+
+    def _ack(self, message: IbMessage) -> None:
+        """Completion flows back to the sender after a propagation delay."""
+        sender = self.remote
+        self.env.schedule_callback(
+            self.nic.propagation_delay,
+            lambda: sender._complete_send(message),
+        )
+
+
+class InfiniBandNic:
+    """A Connect-IB-style NIC: QPs, MR registry and the wire."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        driver: NpfDriver,
+        rate_bps: float = 56 * Gbps,
+        propagation_delay: float = 1e-6,
+        costs: Optional[NpfCosts] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.driver = driver
+        self.costs = costs or driver.costs
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        #: disk latency charged for injected "major" faults
+        self.costs_swap_latency = 0.010
+        self.link: Optional[Link] = None
+        self._qps: Dict[int, QueuePair] = {}
+        self._uds: Dict[int, object] = {}
+        self._mrs = []
+        # Wire efficiency: per-MTU headers shave ~1% off the data rate.
+        self.efficiency = IB_MTU / (IB_MTU + IB_HEADER)
+
+    # -- wiring -----------------------------------------------------------------
+    def attach_link(self, link: Link) -> None:
+        self.link = link
+
+    def create_qp(self, send_cq: Optional[CompletionQueue] = None,
+                  recv_cq: Optional[CompletionQueue] = None,
+                  max_outstanding: int = 8,
+                  rnr_for_reads: bool = False) -> QueuePair:
+        qp = QueuePair(
+            self,
+            send_cq or CompletionQueue(self.env),
+            recv_cq or CompletionQueue(self.env),
+            max_outstanding=max_outstanding,
+            rnr_for_reads=rnr_for_reads,
+        )
+        self._qps[qp.qp_id] = qp
+        return qp
+
+    def register_ud(self, endpoint) -> None:
+        """Attach a UD endpoint (see :mod:`repro.transport.ud`)."""
+        self._uds[endpoint.ud_id] = endpoint
+
+    def register_mr(self, mr) -> None:
+        """Make an MR resolvable by address (for RDMA targets)."""
+        self._mrs.append(mr)
+
+    def resolve_mr(self, addr: int):
+        for mr in self._mrs:
+            if mr.region.contains(addr):
+                return mr
+        return None
+
+    # -- wire I/O ------------------------------------------------------------------
+    def transmit_data(self, message: IbMessage, to_peer_of: Optional[QueuePair] = None) -> None:
+        wire_bytes = int(message.length / self.efficiency) + IB_HEADER
+        self._send_packet(message, wire_bytes)
+
+    def transmit_control(self, message: IbMessage, to_peer_of: Optional[QueuePair] = None) -> None:
+        self._send_packet(message, IB_HEADER)
+
+    def transmit_nack(self, message: IbMessage, to_peer_of: QueuePair) -> None:
+        nack = IbMessage(
+            qp_id=to_peer_of.remote.qp_id, opcode=message.opcode,
+            length=message.length, wr_id=message.wr_id,
+            remote_addr=message.remote_addr, retry=message.retry,
+            seq=message.seq,
+        )
+        packet = Packet(
+            src=self.name, dst="", size=IB_HEADER, kind="rnr-nack",
+            flow=f"qp{nack.qp_id}", payload=nack,
+        )
+        if self.link is None:
+            raise RuntimeError("IB NIC has no attached link")
+        self.link.send(packet)
+
+    def _send_packet(self, message: IbMessage, wire_bytes: int) -> None:
+        if self.link is None:
+            raise RuntimeError("IB NIC has no attached link")
+        packet = Packet(
+            src=self.name, dst="", size=max(wire_bytes, 1), kind="ib",
+            flow=f"qp{message.qp_id}", payload=message,
+        )
+        self.link.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.kind == "ud":
+            endpoint = self._uds.get(packet.payload.dst_ud)
+            if endpoint is not None:
+                endpoint.deliver(packet.payload)
+            return
+        message: IbMessage = packet.payload
+        qp = self._qps.get(message.qp_id)
+        if qp is None:
+            return
+        if packet.kind == "rnr-nack":
+            qp.handle_rnr_nack(message)
+        else:
+            qp.receive(message)

@@ -1,0 +1,153 @@
+"""Receive descriptor rings, including the paper's Figure 6 state machine.
+
+:class:`RxRing` is a faithful implementation of the hardware pseudo-code
+in Figure 6: absolute ``head`` / ``head_offset`` / ``bm_index`` counters
+plus a fault bitmap of ``bm_size`` bits.  ``head`` always points at the
+descriptor of the *oldest unresolved rNPF*; completions are never
+reported to the IOuser past it, which preserves packet ordering.
+
+The ring itself is pure bookkeeping — which descriptor a packet lands
+in, when the IOuser may learn about it — while the NIC model supplies
+the translation ("is this buffer present?") and the backup-ring storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.packet import Packet
+
+__all__ = ["RxDescriptor", "RxRing", "RingStats"]
+
+
+@dataclass
+class RxDescriptor:
+    """One posted receive buffer."""
+
+    buffer_addr: int
+    buffer_size: int
+    #: filled in by the NIC on completion
+    packet: Optional[Packet] = None
+
+
+@dataclass
+class RingStats:
+    stored_direct: int = 0       # packets written straight to the IOuser ring
+    stored_while_faulting: int = 0  # direct stores with older faults pending
+    faulted_to_backup: int = 0
+    dropped_no_descriptor: int = 0
+    dropped_backup_full: int = 0
+    dropped_bitmap_full: int = 0
+    resolved: int = 0
+
+
+class RxRing:
+    """Figure 6's ``struct ring`` with absolute (non-wrapping) counters."""
+
+    def __init__(self, size: int, bm_size: Optional[int] = None):
+        if size < 1:
+            raise ValueError("ring size must be >= 1")
+        self.size = size
+        self.bm_size = bm_size if bm_size is not None else size
+        if self.bm_size < 1:
+            raise ValueError("bitmap size must be >= 1")
+        self._slots: List[Optional[RxDescriptor]] = [None] * size
+        self.tail = 0         # next post position (IOuser side)
+        self.head = 0         # first descriptor not yet reported to the IOuser
+        self.head_offset = 0  # distance from head to the next store target
+        self.bm_index = 0     # bit index corresponding to the entry at head
+        self.bitmap = [0] * self.bm_size
+        self.consumed = 0     # first descriptor not yet processed by the IOuser
+        self.stats = RingStats()
+
+    # -- IOuser side -----------------------------------------------------------
+    def can_post(self) -> bool:
+        return self.tail - self.consumed < self.size
+
+    def post(self, descriptor: RxDescriptor) -> None:
+        """IOuser posts a fresh receive buffer at the tail."""
+        if not self.can_post():
+            raise IndexError("ring full: IOuser posted past its own consumption")
+        self._slots[self.tail % self.size] = descriptor
+        self.tail += 1
+
+    def completions_available(self) -> int:
+        """Descriptors the IOuser may consume ([consumed, head))."""
+        return self.head - self.consumed
+
+    def consume(self) -> RxDescriptor:
+        """IOuser takes the next completed descriptor."""
+        if self.consumed >= self.head:
+            raise IndexError("no completions available")
+        descriptor = self._slots[self.consumed % self.size]
+        assert descriptor is not None
+        self._slots[self.consumed % self.size] = None
+        self.consumed += 1
+        return descriptor
+
+    # -- NIC side -----------------------------------------------------------------
+    @property
+    def store_target(self) -> int:
+        """Absolute index the next incoming packet will be stored at."""
+        return self.head + self.head_offset
+
+    def descriptor_at(self, index: int) -> Optional[RxDescriptor]:
+        if not self.consumed <= index < self.tail:
+            return None
+        return self._slots[index % self.size]
+
+    def has_descriptor(self) -> bool:
+        """Figure 6's availability check for the store target."""
+        return self.store_target < self.tail
+
+    def store_direct(self, packet: Packet) -> bool:
+        """Store into the IOuser ring at the target; returns whether the
+        IOuser may be notified (no older faults pending)."""
+        descriptor = self.descriptor_at(self.store_target)
+        if descriptor is None:
+            raise IndexError("store_direct without a posted descriptor")
+        descriptor.packet = packet
+        if self.head_offset:
+            self.head_offset += 1
+            self.stats.stored_while_faulting += 1
+            return False
+        self.head += 1
+        self.stats.stored_direct += 1
+        return True
+
+    def can_fault_to_backup(self) -> bool:
+        """Bitmap capacity check: the IOprovider bounds buffered packets."""
+        return self.head_offset < self.bm_size
+
+    def mark_fault(self) -> int:
+        """Record an rNPF at the store target; returns its absolute bit index."""
+        if not self.can_fault_to_backup():
+            raise IndexError("fault bitmap exhausted")
+        bit_index = self.bm_index + self.head_offset
+        self.bitmap[bit_index % self.bm_size] = 1
+        self.head_offset += 1
+        self.stats.faulted_to_backup += 1
+        return bit_index
+
+    def resolve_fault(self, bit_index: int) -> int:
+        """Figure 6's ``resolve_rNPFs``: clear the bit, sweep head forward.
+
+        Returns the number of ring entries newly exposed to the IOuser
+        (callers raise the completion interrupt when it is positive).
+        """
+        self.bitmap[bit_index % self.bm_size] = 0
+        advanced = 0
+        while self.head_offset > 0 and self.bitmap[self.bm_index % self.bm_size] == 0:
+            self.head_offset -= 1
+            self.head += 1
+            self.bm_index += 1
+            advanced += 1
+        self.stats.resolved += 1
+        return advanced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RxRing size={self.size} head={self.head}+{self.head_offset} "
+            f"tail={self.tail} consumed={self.consumed}>"
+        )

@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel used by every ``repro`` subsystem."""
+
+from .engine import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+    all_of,
+    any_of,
+)
+from .queues import PriorityStore, Store, StoreFull
+from .resources import Gate, Resource
+from .rng import Rng
+from .stats import Counter, RateMeter, Summary, TimeSeries, percentile
+from . import units
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "Store",
+    "PriorityStore",
+    "StoreFull",
+    "Resource",
+    "Gate",
+    "Rng",
+    "Counter",
+    "RateMeter",
+    "Summary",
+    "TimeSeries",
+    "percentile",
+    "units",
+]

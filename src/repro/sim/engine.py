@@ -1,0 +1,394 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic, generator-based
+discrete-event engine in the style of SimPy.  Every other subsystem in
+``repro`` — the virtual-memory model, the NIC models, the transports and
+the applications — runs as :class:`Process` instances on top of a single
+:class:`Environment`.
+
+The kernel is intentionally minimal but complete:
+
+* :class:`Event` — one-shot condition with callbacks, success/failure.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`Process` — drives a generator; yielding an event suspends the
+  process until the event fires.  A process is itself an event, so
+  processes can wait on each other.
+* :class:`Environment` — the event heap and clock.
+* :func:`any_of` / :func:`all_of` — composite conditions.
+
+Determinism: events scheduled for the same timestamp fire in FIFO order
+of scheduling (a monotonically increasing tiebreaker is part of the heap
+key), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "any_of",
+    "all_of",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party may attach an arbitrary ``cause`` that the
+    interrupted process can inspect.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the heap, not yet processed
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot condition that processes can wait for.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it: the event is placed on the environment's heap and its
+    callbacks run when the clock reaches the trigger time (immediately,
+    for same-time triggers).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._state = _PENDING
+        #: set True when a failure was consumed by a waiter (prevents the
+        #: "unhandled failure" error at teardown).
+        self._defused = False
+
+    # -- introspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will see the exception raised at
+        its ``yield`` statement.
+        """
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._push(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = _PROCESSED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._push(self, delay=delay)
+
+
+class Process(Event):
+    """Drives a generator as a concurrent simulated activity.
+
+    The generator may yield:
+
+    * another :class:`Event` (including a :class:`Process`) — the process
+      resumes when that event fires, receiving its value (or the failure
+      exception raised at the yield point);
+    * ``None`` — the process is rescheduled immediately (a cooperative
+      yield point within the same timestamp).
+
+    The process itself is an event that fires with the generator's return
+    value, or fails with its uncaught exception.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: step the generator at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self._waiting_on is None:
+            # Process not yet started or mid-step: deliver via a fresh event.
+            raise SimulationError(f"process {self.name!r} is not waiting; cannot interrupt")
+        target = self._waiting_on
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interrupt_ev = Event(self.env)
+        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.fail(Interrupt(cause))
+        interrupt_ev._defused = True
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event._defused = True
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An interrupt escaping the generator kills the process cleanly.
+            self.env._active_process = None
+            self.succeed(exc.cause)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if result is None:
+            result = Timeout(self.env, 0)
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}; expected an Event or None"
+            )
+        if result.callbacks is None:
+            # Already processed: resume immediately with its value.
+            immediate = Event(self.env)
+            immediate.callbacks.append(self._resume)
+            if result._ok:
+                immediate.succeed(result._value)
+            else:
+                result._defused = True
+                immediate.fail(result._value)
+                immediate._defused = True
+        else:
+            self._waiting_on = result
+            result.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class _Condition(Event):
+    """Base for any_of/all_of composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need_all: bool):
+        super().__init__(env)
+        self._events = list(events)
+        self._need_all = need_all
+        self._pending = 0
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise SimulationError(f"condition operand {ev!r} is not an Event")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._observe(ev)
+                if self._state != _PENDING:
+                    return
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._observe)
+
+    def _results(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _observe(self, event: Event) -> None:
+        if self._state != _PENDING:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            self._defused = True  # caller may not wait; don't explode
+            return
+        if self._need_all:
+            self._pending -= 1
+            done = all(ev.processed for ev in self._events)
+        else:
+            done = True
+        if done:
+            self.succeed(self._results())
+
+
+def any_of(env: "Environment", events: Iterable[Event]) -> Event:
+    """Event that fires when *any* of ``events`` fires.
+
+    Its value is a dict mapping each already-fired event to its value.
+    """
+    return _Condition(env, events, need_all=False)
+
+
+def all_of(env: "Environment", events: Iterable[Event]) -> Event:
+    """Event that fires when *all* of ``events`` have fired."""
+    return _Condition(env, events, need_all=True)
+
+
+class Environment:
+    """The simulation clock and event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        return any_of(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        return all_of(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (self._now + delay, self._counter, event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` simulated seconds (fire-and-forget)."""
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _tie, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the heap is empty;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event fires, returning its
+          value (or raising its failure).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self._now:
+            raise SimulationError(f"run(until={until!r}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,164 @@
+"""Inter-process communication primitives for the DES kernel.
+
+:class:`Store` is an unbounded-or-bounded FIFO channel: producers
+``put`` items, consumers ``get`` them; both sides block (as simulation
+events) when the store is full or empty.  :class:`PriorityStore` pops the
+smallest item first.  These are the building blocks for NIC completion
+queues, driver work queues and the IOprovider's per-IOuser fault queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Store", "PriorityStore", "StoreFull"]
+
+T = TypeVar("T")
+
+
+class StoreFull(Exception):
+    """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
+
+
+class Store(Generic[T]):
+    """FIFO channel between simulated processes.
+
+    ``capacity`` bounds the number of queued items; ``float('inf')``
+    (the default) makes the store unbounded so ``put`` never blocks.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, T]] = deque()
+
+    # -- sizing ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    # -- non-blocking interface -------------------------------------------
+    def put_nowait(self, item: T) -> None:
+        """Insert ``item`` or raise :class:`StoreFull`."""
+        if self.is_full and not self._getters:
+            raise StoreFull()
+        self._insert(item)
+
+    def try_put(self, item: T) -> bool:
+        """Insert ``item`` if there is room; return success."""
+        try:
+            self.put_nowait(item)
+        except StoreFull:
+            return False
+        return True
+
+    def get_nowait(self) -> Optional[T]:
+        """Pop the next item, or return ``None`` if empty."""
+        if not self._items:
+            return None
+        item = self._pop()
+        self._wake_putter()
+        return item
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    # -- blocking interface --------------------------------------------------
+    def put(self, item: T) -> Event:
+        """Event that fires once ``item`` has been accepted."""
+        ev = self.env.event()
+        if self.is_full:
+            self._putters.append((ev, item))
+        else:
+            self._insert(item)
+            ev.succeed()
+        return ev
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = self.env.event()
+        if self._items:
+            ev.succeed(self._pop())
+            self._wake_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    # -- internals ----------------------------------------------------------
+    def _insert(self, item: T) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._store(item)
+
+    def _wake_putter(self) -> None:
+        if self._putters and not self.is_full:
+            ev, item = self._putters.popleft()
+            self._store(item)
+            ev.succeed()
+
+    # Storage policy hooks (overridden by PriorityStore).
+    def _store(self, item: T) -> None:
+        self._items.append(item)
+
+    def _pop(self) -> T:
+        return self._items.popleft()
+
+
+class PriorityStore(Store[T]):
+    """A :class:`Store` that always pops the smallest item first."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._heap: List[T] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._heap
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def peek(self) -> Optional[T]:
+        return self._heap[0] if self._heap else None
+
+    def get_nowait(self) -> Optional[T]:
+        if not self._heap:
+            return None
+        item = self._pop()
+        self._wake_putter()
+        return item
+
+    def get(self) -> Event:
+        ev = self.env.event()
+        if self._heap:
+            ev.succeed(self._pop())
+            self._wake_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _store(self, item: T) -> None:
+        heapq.heappush(self._heap, item)
+
+    def _pop(self) -> T:
+        return heapq.heappop(self._heap)

@@ -1,0 +1,102 @@
+"""Counted resources for the DES kernel.
+
+:class:`Resource` models a pool of identical units (CPU cores, DMA
+engines, outstanding-fault slots).  Processes ``acquire`` units and
+``release`` them; acquisition blocks while the pool is exhausted.
+:class:`Gate` is a level-triggered condition processes can wait on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Gate"]
+
+
+class Resource:
+    """A pool of ``capacity`` interchangeable units, granted FIFO."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Event that fires when one unit has been granted."""
+        ev = self.env.event()
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Immediately take a unit if available; return success."""
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return one unit to the pool, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            # Hand the unit directly to the next waiter.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Gate:
+    """Level-triggered condition: processes wait until the gate is open.
+
+    Unlike an :class:`~repro.sim.engine.Event`, a gate can be closed and
+    reopened repeatedly.  Waiting on an open gate completes immediately.
+    """
+
+    def __init__(self, env: Environment, open_: bool = False):
+        self.env = env
+        self._open = open_
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        """Open the gate and release every waiter."""
+        self._open = True
+        while self._waiters:
+            self._waiters.popleft().succeed()
+
+    def close(self) -> None:
+        self._open = False
+
+    def wait(self) -> Event:
+        """Event that fires as soon as the gate is (or becomes) open."""
+        ev = self.env.event()
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev

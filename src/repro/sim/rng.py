@@ -1,0 +1,91 @@
+"""Seeded randomness for deterministic simulations.
+
+Every stochastic component takes an :class:`Rng` explicitly; there is no
+global random state anywhere in ``repro``.  ``Rng.fork(name)`` derives an
+independent, reproducible child stream, so adding randomness to one
+component never perturbs another.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Sequence, TypeVar
+
+__all__ = ["Rng"]
+
+T = TypeVar("T")
+
+
+class Rng:
+    """A named, seeded random stream."""
+
+    def __init__(self, seed: int = 0, name: str = "root"):
+        self.seed = seed
+        self.name = name
+        self._random = random.Random(seed)
+
+    def fork(self, name: str) -> "Rng":
+        """Derive an independent child stream keyed by ``name``.
+
+        The child's seed mixes the parent seed with a stable hash of the
+        name, so the same (seed, path-of-names) always yields the same
+        stream regardless of creation order.
+        """
+        child_seed = (self.seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
+        return Rng(child_seed, name=f"{self.name}/{name}")
+
+    # -- distributions --------------------------------------------------
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._random.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential inter-arrival with the given rate (events/sec)."""
+        return self._random.expovariate(rate)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: list) -> None:
+        self._random.shuffle(seq)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range: {p!r}")
+        return self._random.random() < p
+
+    def lognormal_jitter(self, mean: float, sigma: float = 0.15) -> float:
+        """A positive latency sample centered near ``mean``.
+
+        Used to model firmware/driver latency jitter: the bulk of the
+        samples land near ``mean`` and a heavy-ish tail produces the
+        occasional outlier, matching the paper's Table 4 percentiles.
+        """
+        return mean * self._random.lognormvariate(0.0, sigma)
+
+    def zipf_index(self, n: int, skew: float = 0.99) -> int:
+        """Zipf-distributed index in [0, n) via inverse-CDF sampling.
+
+        Skewed key popularity for key-value workloads (memaslap-like).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        # Rejection-free approximate inverse CDF (Gray et al. style).
+        u = self._random.random()
+        if skew == 1.0:
+            skew = 0.999999
+        h = (n ** (1.0 - skew) - 1.0) / (1.0 - skew)
+        x = ((u * h * (1.0 - skew)) + 1.0) ** (1.0 / (1.0 - skew))
+        idx = int(x) - 1
+        return min(max(idx, 0), n - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rng(seed={self.seed}, name={self.name!r})"

@@ -1,0 +1,20 @@
+"""Transport protocols: TCP (Ethernet) and InfiniBand RC/UD."""
+
+from .tcp import TcpConnection, TcpError, TcpParams, TcpSegment, TcpStack
+from .ud import UdEndpoint
+from .verbs import CompletionQueue, Opcode, RecvWr, SendWr, Wc, WcStatus
+
+__all__ = [
+    "TcpConnection",
+    "TcpError",
+    "TcpParams",
+    "TcpSegment",
+    "TcpStack",
+    "UdEndpoint",
+    "CompletionQueue",
+    "Opcode",
+    "RecvWr",
+    "SendWr",
+    "Wc",
+    "WcStatus",
+]

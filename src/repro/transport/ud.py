@@ -1,0 +1,109 @@
+"""Unreliable Datagram (UD) transport (paper §4, "Applicability").
+
+UD guarantees neither delivery nor ordering, so it cannot use RNR
+NACKs: there is no connection for the receiver to pause.  On an rNPF a
+plain UD receiver simply loses the datagram (while the fault resolves
+in the background) — which is why the paper points UD users at the
+Ethernet backup-ring solution instead.  This module implements both
+behaviours so the difference is testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from ..core.npf import NpfSide
+from ..core.regions import OdpMemoryRegion
+from ..net.packet import IB_HEADER, Packet
+from ..sim.engine import Environment
+from ..sim.units import PAGE_SHIFT, pages_for
+from .verbs import CompletionQueue, Opcode, RecvWr, Wc
+
+__all__ = ["UdEndpoint"]
+
+_ud_ids = itertools.count(1)
+
+
+@dataclass
+class _UdDatagram:
+    dst_ud: int
+    length: int
+    payload: object = None
+
+
+class UdEndpoint:
+    """One UD 'QP': connectionless datagrams over an InfiniBand NIC."""
+
+    def __init__(self, nic, buffered_fallback: bool = False):
+        self.nic = nic
+        self.env: Environment = nic.env
+        self.ud_id = next(_ud_ids)
+        self.recv_cq = CompletionQueue(self.env)
+        self._recv_queue: List[RecvWr] = []
+        #: emulate the backup-ring idea: hold faulting datagrams until the
+        #: fault resolves instead of dropping them
+        self.buffered_fallback = buffered_fallback
+        self._held: List[_UdDatagram] = []
+        self.sent = 0
+        self.received = 0
+        self.dropped_rnpf = 0
+        self.dropped_no_buffer = 0
+        nic.register_ud(self)
+
+    # -- verbs ------------------------------------------------------------
+    def post_recv(self, wr: RecvWr) -> None:
+        self._recv_queue.append(wr)
+        if self._held:
+            held, self._held = self._held, []
+            for datagram in held:
+                self.deliver(datagram)
+
+    def send(self, remote: "UdEndpoint", length: int, payload=None) -> None:
+        """Fire-and-forget datagram."""
+        self.sent += 1
+        datagram = _UdDatagram(dst_ud=remote.ud_id, length=length,
+                               payload=payload)
+        packet = Packet(
+            src=self.nic.name, dst="", size=length + IB_HEADER, kind="ud",
+            flow=f"ud{remote.ud_id}", payload=datagram,
+        )
+        if self.nic.link is None:
+            raise RuntimeError("UD endpoint's NIC has no attached link")
+        self.nic.link.send(packet)
+
+    # -- receive path ---------------------------------------------------------
+    def deliver(self, datagram: _UdDatagram) -> None:
+        if not self._recv_queue:
+            self.dropped_no_buffer += 1
+            return
+        wr = self._recv_queue[0]
+        mr = wr.mr
+        if isinstance(mr, OdpMemoryRegion):
+            first = wr.addr >> PAGE_SHIFT
+            n_pages = pages_for(datagram.length) or 1
+            if mr.unmapped_vpns(first, n_pages):
+                # Resolve in the background either way; the datagram's
+                # fate depends on whether a backup buffer exists.
+                self.env.process(
+                    self.nic.driver.service_fault(
+                        mr, first, n_pages, NpfSide.RECEIVE, f"ud{self.ud_id}"
+                    ),
+                    name=f"ud{self.ud_id}-npf",
+                )
+                if self.buffered_fallback:
+                    self.env.process(self._redeliver_later(datagram),
+                                     name=f"ud{self.ud_id}-held")
+                else:
+                    self.dropped_rnpf += 1
+                return
+        self._recv_queue.pop(0)
+        self.received += 1
+        self.recv_cq.push(Wc(wr.wr_id, Opcode.SEND, datagram.length))
+
+    def _redeliver_later(self, datagram: _UdDatagram):
+        # Wait out a fault-resolution time, then merge the datagram back —
+        # the backup-ring flow applied to UD.
+        yield self.env.timeout(self.nic.costs.npf_breakdown(1).total)
+        self.deliver(datagram)

@@ -1,0 +1,98 @@
+"""Verbs-level objects: work requests, completions, completion queues.
+
+The verbs API is the contract between IOusers and the InfiniBand NIC:
+applications post :class:`SendWr`/:class:`RecvWr` on a queue pair and
+harvest :class:`Wc` completions from a :class:`CompletionQueue`.  The
+queue pair itself (RC protocol state machine) lives in
+:mod:`repro.nic.infiniband`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.regions import MemoryRegion
+from ..sim.engine import Environment, Event
+from ..sim.queues import Store
+
+__all__ = ["Opcode", "WcStatus", "SendWr", "RecvWr", "Wc", "CompletionQueue"]
+
+_wr_ids = itertools.count(1)
+
+
+class Opcode(enum.Enum):
+    SEND = "send"
+    RDMA_WRITE = "rdma-write"
+    RDMA_READ = "rdma-read"
+
+
+class WcStatus(enum.Enum):
+    SUCCESS = "success"
+    RNR_RETRY_EXCEEDED = "rnr-retry-exceeded"
+    ERROR = "error"
+
+
+@dataclass
+class SendWr:
+    """A send-side work request (SEND / RDMA_WRITE / RDMA_READ)."""
+
+    opcode: Opcode
+    length: int
+    local_addr: int = 0
+    mr: Optional[MemoryRegion] = None
+    #: RDMA only: target address in the *remote* MR
+    remote_addr: int = 0
+    wr_id: int = field(default_factory=lambda: next(_wr_ids))
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("work request length must be positive")
+
+
+@dataclass
+class RecvWr:
+    """A posted receive buffer."""
+
+    addr: int
+    length: int
+    mr: Optional[MemoryRegion] = None
+    wr_id: int = field(default_factory=lambda: next(_wr_ids))
+
+
+@dataclass
+class Wc:
+    """A work completion."""
+
+    wr_id: int
+    opcode: Opcode
+    byte_len: int
+    status: WcStatus = WcStatus.SUCCESS
+    time: float = 0.0
+
+
+class CompletionQueue:
+    """FIFO of work completions with blocking harvest."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._queue: Store[Wc] = Store(env)
+        self.completions = 0
+
+    def push(self, wc: Wc) -> None:
+        wc.time = self.env.now
+        self.completions += 1
+        self._queue.put_nowait(wc)
+
+    def poll(self) -> Optional[Wc]:
+        """Non-blocking: next completion or None."""
+        return self._queue.get_nowait()
+
+    def wait(self) -> Event:
+        """Event firing with the next completion."""
+        return self._queue.get()
+
+    def __len__(self) -> int:
+        return len(self._queue)

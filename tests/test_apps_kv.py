@@ -1,0 +1,92 @@
+"""Tests for the KV store + memaslap over the Ethernet testbed."""
+
+import pytest
+
+from repro.apps.framing import MessageFramer
+from repro.apps.kvstore import KvServer
+from repro.apps.memaslap import Memaslap
+from repro.host import ethernet_testbed
+from repro.nic import RxMode
+from repro.sim import Environment, Rng
+from repro.sim.units import KB, MB
+
+
+@pytest.fixture(autouse=True)
+def clean_framing():
+    MessageFramer.reset_registry()
+    yield
+    MessageFramer.reset_registry()
+
+
+def build(mode=RxMode.BACKUP, capacity=8 * MB, **kv_kwargs):
+    env = Environment()
+    server, client, srv_user, cli_user = ethernet_testbed(env, mode, ring_size=64)
+    kv = KvServer(srv_user, capacity_bytes=capacity, **kv_kwargs)
+    return env, server, kv, srv_user, cli_user
+
+
+def test_get_after_set_hits():
+    env, host, kv, srv_user, cli_user = build()
+    gen = Memaslap(cli_user, "server", "srv0", Rng(1), connections=1,
+                   get_ratio=1.0, n_keys=50)
+    done = gen.start(preload=True, ops_limit=200)
+    env.run(until=10.0)
+    assert done.triggered
+    assert gen.completed_ops >= 200
+    # After preloading all 50 keys, gets always hit.
+    assert gen.completed_hits == gen.completed_ops - 50  # minus the preload sets...
+
+
+def test_get_without_preload_misses():
+    env, host, kv, srv_user, cli_user = build()
+    gen = Memaslap(cli_user, "server", "srv0", Rng(2), connections=1,
+                   get_ratio=1.0, n_keys=100)
+    gen.start(preload=False, ops_limit=100)
+    env.run(until=10.0)
+    assert kv.misses == kv.gets
+    assert gen.completed_hits == 0
+
+
+def test_lru_eviction_bounds_cache():
+    env, host, kv, srv_user, cli_user = build(capacity=16 * 4 * KB)
+    assert kv.capacity_items == 16
+    gen = Memaslap(cli_user, "server", "srv0", Rng(3), connections=1,
+                   get_ratio=0.0, n_keys=64)
+    gen.start(ops_limit=200)
+    env.run(until=10.0)
+    assert kv.cached_items <= 16
+
+
+def test_resize_shrinks_lru():
+    env, host, kv, srv_user, cli_user = build(capacity=64 * 4 * KB)
+    gen = Memaslap(cli_user, "server", "srv0", Rng(4), connections=1,
+                   get_ratio=0.0, n_keys=40)
+    gen.start(ops_limit=80)
+    env.run(until=10.0)
+    before = kv.cached_items
+    kv.resize(8 * 4 * KB)
+    assert kv.cached_items <= 8 <= before
+
+
+def test_mixed_workload_tracks_hits_and_tps():
+    env, host, kv, srv_user, cli_user = build()
+    gen = Memaslap(cli_user, "server", "srv0", Rng(5), connections=4,
+                   get_ratio=0.9, n_keys=200)
+    done = gen.start(preload=True, ops_limit=2000)
+    env.run(until=20.0)
+    assert done.triggered
+    assert kv.gets + kv.sets >= 2000
+    assert 0 < gen.completed_hits <= gen.completed_ops
+    assert sum(v for _, v in gen.tps.series.points()) > 0
+
+
+def test_working_set_change_applies():
+    env, host, kv, srv_user, cli_user = build()
+    gen = Memaslap(cli_user, "server", "srv0", Rng(6), connections=1, n_keys=10)
+    gen.start(ops_limit=10_000)
+    env.run(until=0.05)
+    gen.set_working_set(1000)
+    env.run(until=0.2)
+    gen.stop()
+    touched = {k for k in kv._lru}
+    assert max(touched) > 10  # new working set actually reached

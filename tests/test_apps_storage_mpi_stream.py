@@ -1,0 +1,180 @@
+"""Tests for the storage target, MPI world and stream benchmarks."""
+
+import pytest
+
+from repro.apps.mpi import MpiWorld
+from repro.apps.storage import Disk, FioTester, StorageTarget
+from repro.apps.stream import EthernetStream, IbStream
+from repro.host import ethernet_testbed, ib_pair
+from repro.mem import OutOfMemoryError
+from repro.nic import RxMode
+from repro.sim import Environment, Rng
+from repro.sim.units import Gbps, KB, MB
+
+
+# ---------------------------------------------------------------- storage
+def make_storage(memory=64 * MB, pinned=False, comm=16 * MB, lun=32 * MB,
+                 block=512 * KB, **kwargs):
+    env = Environment()
+    target_host, initiator_host = ib_pair(env, memory_bytes=memory)
+    target = StorageTarget(target_host, lun_bytes=lun, block_size=block,
+                           comm_region_bytes=comm, pinned=pinned, **kwargs)
+    return env, target_host, initiator_host, target
+
+
+def test_storage_serves_reads():
+    env, th, ih, target = make_storage()
+    fio = FioTester(ih, target, Rng(1), sessions=2)
+    done = fio.run(total_ios=20)
+    env.run(until=60.0)
+    assert fio.completed == 20
+    assert fio.bytes_read == 20 * 512 * KB
+    assert target.cache_misses > 0  # first touches hit the disk
+
+
+def test_storage_page_cache_warms():
+    env, th, ih, target = make_storage(memory=128 * MB, lun=8 * MB)
+    fio = FioTester(ih, target, Rng(2), sessions=1)
+    fio.run(total_ios=64)
+    env.run(until=120.0)
+    # 16 blocks, 64 reads: most reads are cache hits after the first pass.
+    assert target.cache_hits > target.cache_misses
+
+
+def test_pinned_target_fails_on_small_memory():
+    """Figure 8(a): the pinned configuration fails to load below ~5GB."""
+    with pytest.raises(OutOfMemoryError):
+        make_storage(memory=8 * MB, pinned=True, comm=16 * MB)
+
+
+def test_npf_target_loads_on_small_memory():
+    env, th, ih, target = make_storage(memory=8 * MB, pinned=False, comm=16 * MB,
+                                       lun=4 * MB)
+    fio = FioTester(ih, target, Rng(3), sessions=1)
+    fio.run(total_ios=4)
+    env.run(until=60.0)
+    assert fio.completed == 4
+
+
+def test_npf_resident_memory_tracks_use_not_allocation():
+    """Figure 8(b): with NPFs, unused chunk tails are never backed."""
+    def resident_after(io_size, pinned):
+        env, th, ih, target = make_storage(
+            memory=256 * MB, pinned=pinned, comm=32 * MB, lun=8 * MB,
+            block=512 * KB)
+        fio = FioTester(ih, target, Rng(4), io_size=io_size, sessions=1)
+        fio.run(total_ios=32)
+        env.run(until=120.0)
+        return target.comm_resident_bytes
+
+    small_npf = resident_after(64 * KB, pinned=False)
+    large_npf = resident_after(512 * KB, pinned=False)
+    pinned = resident_after(64 * KB, pinned=True)
+    assert small_npf < large_npf <= pinned
+    assert pinned == 32 * MB  # whole comm region resident regardless of use
+
+
+def test_storage_validation():
+    env = Environment()
+    th, ih = ib_pair(env)
+    with pytest.raises(ValueError):
+        StorageTarget(th, lun_bytes=10 * MB + 1, block_size=512 * KB)
+    with pytest.raises(ValueError):
+        Disk(seek_time=-1)
+    target = StorageTarget(th, lun_bytes=1 * MB, block_size=512 * KB,
+                           comm_region_bytes=4 * MB)
+    qp = th.nic.create_qp()
+    with pytest.raises(ValueError):
+        env.run(env.process(target.serve_read(qp, 99, 512 * KB, 0)))
+
+
+# -------------------------------------------------------------------- mpi
+def run_collective(mode, collective, size=32 * KB, iterations=2, n_ranks=4):
+    env = Environment()
+    world = MpiWorld(env, n_ranks=n_ranks, mode=mode, memory_bytes=256 * MB)
+    proc = env.process(getattr(world, collective)(size, iterations))
+    env.run(until=proc)
+    return env.now, world
+
+
+@pytest.mark.parametrize("collective", ["sendrecv", "bcast", "alltoall", "allreduce"])
+def test_collectives_complete_in_all_modes(collective):
+    for mode in ("copy", "pin", "npf"):
+        elapsed, world = run_collective(mode, collective)
+        assert 0 < elapsed < 1.0
+
+
+def test_copy_mode_slower_for_large_messages():
+    """IMB-style run: enough iterations to amortize both warm-ups."""
+    t_copy, _ = run_collective("copy", "sendrecv", size=128 * KB, iterations=300,
+                               n_ranks=2)
+    t_pin, _ = run_collective("pin", "sendrecv", size=128 * KB, iterations=300,
+                              n_ranks=2)
+    t_npf, _ = run_collective("npf", "sendrecv", size=128 * KB, iterations=300,
+                              n_ranks=2)
+    assert t_copy > 1.3 * t_pin
+    assert abs(t_npf - t_pin) / t_pin < 0.5  # NPF ~ pin-down cache
+
+
+def test_pin_down_cache_warms_up():
+    """After one pass over the off_cache buffers, registrations are reused."""
+    _, world = run_collective("pin", "sendrecv", iterations=24)
+    pdc = world.ranks[0].pdc
+    assert pdc.stats.hits > pdc.stats.misses
+
+
+def test_mpi_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        MpiWorld(env, mode="bogus")
+    with pytest.raises(ValueError):
+        MpiWorld(env, n_ranks=1)
+
+
+def test_beff_returns_bandwidth():
+    env = Environment()
+    world = MpiWorld(env, n_ranks=2, mode="npf", memory_bytes=256 * MB)
+    proc = env.process(world.beff(sizes=[16 * KB], iterations=2))
+    bandwidth = env.run(until=proc)
+    assert bandwidth > 0
+
+
+# ----------------------------------------------------------------- stream
+def test_ethernet_stream_no_faults_reaches_line_rate():
+    env = Environment()
+    _, _, srv_user, cli_user = ethernet_testbed(env, RxMode.BACKUP, ring_size=128)
+    stream = EthernetStream(cli_user, srv_user, "server", Rng(7))
+    throughput = stream.run(total_bytes=4 * MB)
+    assert throughput > 6 * Gbps  # 12Gb/s link minus protocol overheads
+
+
+def test_ethernet_stream_faults_hurt_drop_more_than_backup():
+    def run(mode, freq):
+        env = Environment()
+        _, _, srv_user, cli_user = ethernet_testbed(env, mode, ring_size=128)
+        stream = EthernetStream(cli_user, srv_user, "server", Rng(8),
+                                fault_frequency=freq)
+        return stream.run(total_bytes=2 * MB, timeout=120.0)
+
+    freq = 2.0 ** -18  # one fault every ~180 packets
+    t_backup = run(RxMode.BACKUP, freq)
+    t_drop = run(RxMode.DROP, freq)
+    assert t_backup > 3 * t_drop
+
+
+def test_ib_stream_throughput():
+    env = Environment()
+    a, b = ib_pair(env)
+    stream = IbStream(a, b, Rng(9))
+    throughput = stream.run(n_messages=200)
+    assert throughput > 30 * Gbps  # 56Gb/s minus windowing overheads
+
+
+def test_ib_stream_fault_injection_slows_but_completes():
+    env = Environment()
+    a, b = ib_pair(env)
+    clean = IbStream(a, b, Rng(10)).run(n_messages=100)
+    env2 = Environment()
+    a2, b2 = ib_pair(env2)
+    faulty = IbStream(a2, b2, Rng(10), fault_frequency=2.0 ** -18).run(n_messages=100)
+    assert 0 < faulty < clean

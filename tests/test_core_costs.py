@@ -1,0 +1,93 @@
+"""Tests for the NPF cost model against the paper's Figure 3 / Table 4."""
+
+import pytest
+
+from repro.core import NpfCosts
+from repro.sim import Rng, percentile
+from repro.sim.units import us
+
+
+def test_minor_npf_4kb_matches_paper_mean():
+    """Figure 3(a): a 4KB (1-page) minor NPF takes ~220 us."""
+    costs = NpfCosts()  # no rng -> deterministic
+    bd = costs.npf_breakdown(n_pages=1)
+    assert bd.total == pytest.approx(220 * us, rel=0.05)
+
+
+def test_minor_npf_4mb_matches_paper_mean():
+    """Figure 3(a): a 4MB (1024-page) minor NPF takes ~350 us."""
+    costs = NpfCosts()
+    bd = costs.npf_breakdown(n_pages=1024)
+    assert bd.total == pytest.approx(350 * us, rel=0.05)
+
+
+def test_npf_overhead_dominated_by_hardware():
+    """The paper: ~90% of the 4KB NPF is firmware/hardware time."""
+    bd = NpfCosts().npf_breakdown(1)
+    assert bd.hardware_fraction > 0.8
+
+
+def test_npf_growth_is_software_side():
+    """4KB -> 4MB growth comes from the sw driver/OS phase."""
+    costs = NpfCosts()
+    small = costs.npf_breakdown(1)
+    large = costs.npf_breakdown(1024)
+    assert large.driver > small.driver
+    assert large.trigger_interrupt == small.trigger_interrupt
+    assert large.resume == small.resume
+
+
+def test_major_fault_adds_swap_time():
+    costs = NpfCosts()
+    bd = costs.npf_breakdown(1, swap_latency=0.010)
+    assert bd.swap == 0.010
+    assert bd.total == pytest.approx(costs.npf_breakdown(1).total + 0.010)
+
+
+def test_npf_breakdown_validates_pages():
+    with pytest.raises(ValueError):
+        NpfCosts().npf_breakdown(0)
+
+
+def test_tail_latency_shape_matches_table4():
+    """Table 4 (4KB): p50 ~215, p95 ~250, p99 ~261, max ~464 (us)."""
+    costs = NpfCosts(rng=Rng(seed=42))
+    samples = [costs.npf_breakdown(1).total for _ in range(4000)]
+    p50 = percentile(samples, 50)
+    p95 = percentile(samples, 95)
+    p99 = percentile(samples, 99)
+    assert 200 * us < p50 < 240 * us
+    assert p95 / p50 < 1.35
+    assert p99 / p50 < 1.6
+    assert max(samples) / p50 > 1.5  # rare firmware slow path exists
+    assert max(samples) / p50 < 3.5
+
+
+def test_invalidation_cheaper_than_npf():
+    """Figure 3: invalidations are cheaper than faults."""
+    costs = NpfCosts()
+    inv = costs.invalidation_breakdown(was_mapped=True)
+    npf = costs.npf_breakdown(1)
+    assert inv.total < npf.total
+
+
+def test_unmapped_invalidation_skips_hardware():
+    """Lazily-mapped pages that never faulted: checks only, no hw update."""
+    costs = NpfCosts()
+    mapped = costs.invalidation_breakdown(True)
+    unmapped = costs.invalidation_breakdown(False)
+    assert unmapped.update_pt == 0.0
+    assert unmapped.updates == 0.0
+    assert unmapped.total < mapped.total
+
+
+def test_pin_time_scales_linearly():
+    costs = NpfCosts()
+    assert costs.pin_time(1) < costs.pin_time(1024)
+    assert costs.pin_time(0) == costs.pin_base
+    assert costs.unpin_time(10) == pytest.approx(costs.unpin_base + 10 * costs.unpin_per_page)
+
+
+def test_memcpy_time():
+    costs = NpfCosts()
+    assert costs.memcpy_time(costs.memcpy_bandwidth) == pytest.approx(1.0)

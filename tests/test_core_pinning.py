@@ -1,0 +1,175 @@
+"""Tests for the pinning-strategy baselines (static / fine / pin-down cache)."""
+
+import pytest
+
+from repro.core import FineGrainedPinner, NpfDriver, PinDownCache, StaticPinner
+from repro.iommu import Iommu
+from repro.mem import Memory, OutOfMemoryError
+from repro.sim import Environment
+from repro.sim.units import PAGE_SIZE
+
+
+def make_stack(mem_pages=64):
+    env = Environment()
+    memory = Memory(mem_pages * PAGE_SIZE)
+    iommu = Iommu()
+    driver = NpfDriver(env, iommu)
+    return env, memory, driver
+
+
+# ---------------------------------------------------------------- static
+def test_static_pinner_pins_whole_space():
+    env, memory, driver = make_stack()
+    pinner = StaticPinner(driver)
+    space = memory.create_space("vm")
+    space.mmap(8 * PAGE_SIZE, name="guest-ram")
+    mrs, latency = pinner.pin_space(space)
+    assert latency > 0
+    assert pinner.pinned_bytes(space) == 8 * PAGE_SIZE
+    assert space.pinned_pages == 8
+
+
+def test_static_pinner_rejects_overcommit():
+    """Two 3GB VMs on an 8GB host pin fine; a third fails (Table 5)."""
+    env, memory, driver = make_stack(mem_pages=8)
+    pinner = StaticPinner(driver)
+    vms = []
+    for i in range(2):
+        vm = memory.create_space(f"vm{i}")
+        vm.mmap(3 * PAGE_SIZE)
+        pinner.pin_space(vm)
+        vms.append(vm)
+    third = memory.create_space("vm2")
+    third.mmap(3 * PAGE_SIZE)
+    with pytest.raises(OutOfMemoryError):
+        pinner.pin_space(third)
+    # Failed launch leaves no residue.
+    assert third.pinned_pages == 0
+
+
+def test_static_pinner_unpin_releases():
+    env, memory, driver = make_stack()
+    pinner = StaticPinner(driver)
+    space = memory.create_space()
+    space.mmap(4 * PAGE_SIZE)
+    pinner.pin_space(space)
+    latency = pinner.unpin_space(space)
+    assert latency > 0
+    assert space.pinned_pages == 0
+    assert pinner.unpin_space(space) == 0.0  # idempotent
+
+
+# ----------------------------------------------------------- fine-grained
+def test_fine_grained_pays_every_time():
+    env, memory, driver = make_stack()
+    pinner = FineGrainedPinner(driver)
+    space = memory.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    total = 0.0
+    for _ in range(3):
+        mr, reg_latency = pinner.register(space, region.base, 2 * PAGE_SIZE)
+        total += reg_latency
+        total += pinner.deregister(mr)
+    assert pinner.registrations == 3
+    assert pinner.deregistrations == 3
+    assert total > 0
+    assert space.pinned_pages == 0
+
+
+def test_fine_grained_validates_size():
+    env, memory, driver = make_stack()
+    pinner = FineGrainedPinner(driver)
+    space = memory.create_space()
+    with pytest.raises(ValueError):
+        pinner.register(space, 0, 0)
+
+
+# --------------------------------------------------------- pin-down cache
+def test_pin_down_cache_hit_is_free():
+    env, memory, driver = make_stack()
+    cache = PinDownCache(driver, capacity_bytes=16 * PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    mr1, miss_latency = cache.acquire(space, region.base, 2 * PAGE_SIZE)
+    cache.release(space, region.base, 2 * PAGE_SIZE)
+    mr2, hit_latency = cache.acquire(space, region.base, 2 * PAGE_SIZE)
+    assert miss_latency > 0
+    assert hit_latency == 0.0
+    assert mr2 is mr1
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_pin_down_cache_evicts_lru_when_full():
+    env, memory, driver = make_stack()
+    cache = PinDownCache(driver, capacity_bytes=4 * PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(16 * PAGE_SIZE)
+    a, b, c = region.base, region.base + 4 * PAGE_SIZE, region.base + 8 * PAGE_SIZE
+    cache.acquire(space, a, 2 * PAGE_SIZE)
+    cache.release(space, a, 2 * PAGE_SIZE)
+    cache.acquire(space, b, 2 * PAGE_SIZE)
+    cache.release(space, b, 2 * PAGE_SIZE)
+    # c forces eviction of a (LRU).
+    _, latency = cache.acquire(space, c, 2 * PAGE_SIZE)
+    assert latency > 0
+    assert cache.stats.evictions == 1
+    assert cache.used_bytes == 4 * PAGE_SIZE
+    # Re-acquiring a is a miss again.
+    cache.release(space, c, 2 * PAGE_SIZE)
+    _, relatency = cache.acquire(space, a, 2 * PAGE_SIZE)
+    assert relatency > 0
+    assert cache.stats.misses == 4  # a, b, c, then a again
+
+
+def test_pin_down_cache_never_evicts_referenced_entries():
+    env, memory, driver = make_stack()
+    cache = PinDownCache(driver, capacity_bytes=4 * PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(16 * PAGE_SIZE)
+    a, b = region.base, region.base + 8 * PAGE_SIZE
+    mr_a, _ = cache.acquire(space, a, 3 * PAGE_SIZE)  # still referenced
+    cache.acquire(space, b, 3 * PAGE_SIZE)            # over capacity, a busy
+    assert mr_a.is_registered
+    assert cache.used_bytes == 6 * PAGE_SIZE  # temporarily over budget
+
+
+def test_pin_down_cache_flush():
+    env, memory, driver = make_stack()
+    cache = PinDownCache(driver, capacity_bytes=64 * PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(8 * PAGE_SIZE)
+    cache.acquire(space, region.base, 4 * PAGE_SIZE)
+    cache.release(space, region.base, 4 * PAGE_SIZE)
+    latency = cache.flush()
+    assert latency > 0
+    assert len(cache) == 0
+    assert cache.used_bytes == 0
+    assert space.pinned_pages == 0
+
+
+def test_pin_down_cache_release_validation():
+    env, memory, driver = make_stack()
+    cache = PinDownCache(driver, capacity_bytes=4 * PAGE_SIZE)
+    space = memory.create_space()
+    with pytest.raises(ValueError):
+        cache.release(space, 0, PAGE_SIZE)
+    with pytest.raises(ValueError):
+        cache.acquire(space, 0, 0)
+    with pytest.raises(ValueError):
+        PinDownCache(driver, capacity_bytes=0)
+
+
+def test_pin_down_cache_small_capacity_acts_fine_grained():
+    """The paper's observation: a tiny cache degenerates to fine-grained."""
+    env, memory, driver = make_stack()
+    cache = PinDownCache(driver, capacity_bytes=PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(32 * PAGE_SIZE)
+    total_latency = 0.0
+    for i in range(4):
+        addr = region.base + i * 8 * PAGE_SIZE
+        _, latency = cache.acquire(space, addr, 2 * PAGE_SIZE)
+        cache.release(space, addr, 2 * PAGE_SIZE)
+        total_latency += latency
+    assert cache.stats.hits == 0  # every access misses
+    assert total_latency > 0

@@ -1,0 +1,135 @@
+"""Smoke tests: every experiment runs at reduced scale and keeps its shape.
+
+The benchmark suite runs the full-scale versions; these keep the
+experiment harness itself under ordinary unit-test coverage so a
+refactor cannot silently break a figure.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig3_breakdown,
+    fig4_cold_ring,
+    fig8_storage,
+    fig9_imb,
+    fig10_whatif,
+    sec63_loc,
+    table3_tradeoffs,
+    table4_tail,
+    table5_overcommit,
+    table6_beff,
+)
+from repro.experiments.base import ExperimentResult, print_result
+from repro.experiments.config import TIME_SCALE, scale_bytes, scaled_tcp_params
+
+
+def check_result(result, expected_id):
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == expected_id
+    assert result.rows
+    assert result.columns
+    text = print_result(result)
+    assert expected_id in text
+
+
+def test_config_scaling_helpers():
+    params = scaled_tcp_params()
+    assert params.rto_min == pytest.approx(0.200 / TIME_SCALE)
+    assert params.syn_timeout == pytest.approx(1.0 / TIME_SCALE)
+    assert scale_bytes(64 * 1024 ** 3) == 1024 ** 3
+
+
+def test_fig3_smoke():
+    result = fig3_breakdown.run(samples=10)
+    check_result(result, "figure-3")
+    assert len(result.rows) == 4
+
+
+def test_table4_smoke():
+    result = table4_tail.run(samples=100)
+    check_result(result, "table-4")
+    for row in result.rows:
+        assert row["p50_us"] <= row["p99_us"]
+
+
+def test_fig4b_smoke():
+    result = fig4_cold_ring.run_ring_sweep(ring_sizes=(16,), ops=300)
+    check_result(result, "figure-4b")
+    row = result.rows[0]
+    assert row["drop_s"] > row["pin_s"]
+
+
+def test_table5_smoke():
+    npf = table5_overcommit.run_config(1, npf=True, ops_per_vm=300)
+    assert npf is not None and npf > 0
+    pin3 = table5_overcommit.run_config(3, npf=False, ops_per_vm=300)
+    assert pin3 is None  # cannot pin three 3GB VMs into 8GB
+
+
+def test_fig8a_smoke():
+    result = fig8_storage.run_bandwidth(memory_points_gb=(4, 8), ios=60)
+    check_result(result, "figure-8a")
+    rows = {r["memory_gb"]: r for r in result.rows}
+    assert rows[4]["pin_gbps"] == "FAIL"
+    assert isinstance(rows[8]["pin_gbps"], float)
+
+
+def test_fig8b_smoke():
+    result = fig8_storage.run_resident_memory(session_counts=(1, 4),
+                                              ios_per_session=4)
+    check_result(result, "figure-8b")
+    for row in result.rows:
+        assert row["npf_64KB_mb"] <= row["pin_mb"]
+
+
+def test_fig9_smoke():
+    result = fig9_imb.run(iterations=60, n_ranks=2)
+    check_result(result, "figure-9")
+    assert {r["benchmark"] for r in result.rows} == \
+        {"sendrecv", "bcast", "alltoall"}
+
+
+def test_table6_smoke():
+    result = table6_beff.run(n_ranks=2, iterations=20)
+    check_result(result, "table-6")
+    rows = {r["mode"]: r for r in result.rows}
+    assert rows["copy"]["beff_mb_s"] < rows["pin"]["beff_mb_s"]
+
+
+def test_fig10_ib_smoke():
+    result = fig10_whatif.run_infiniband(frequencies=(2.0 ** -14, 2.0 ** -22),
+                                         n_messages=300)
+    check_result(result, "figure-10-infiniband")
+    assert result.rows[0]["pct_of_optimum"] < result.rows[-1]["pct_of_optimum"]
+
+
+def test_table3_smoke():
+    result = table3_tradeoffs.run()
+    check_result(result, "table-3")
+    assert len(result.rows) == 4
+
+
+def test_sec63_smoke():
+    result = sec63_loc.run()
+    check_result(result, "section-6.3")
+
+
+def test_ablation_smoke():
+    check_result(ablations.run_batching(), "ablation-batching")
+    check_result(ablations.run_read_rnr_extension(n_reads=2),
+                 "ablation-read-rnr")
+
+
+def test_print_result_formats_mixed_types():
+    result = ExperimentResult(
+        experiment_id="x", title="t", columns=["a", "b"],
+        scaling="none",
+    )
+    result.add_row(a=1.23456, b="text")
+    result.add_row(a=12345.6, b=0.00001)
+    result.notes.append("note line")
+    text = print_result(result)
+    assert "note line" in text
+    assert "scaling: none" in text
+    assert result.column("a") == [1.23456, 12345.6]

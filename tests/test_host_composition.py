@@ -1,0 +1,83 @@
+"""Tests for the host/testbed composition layer."""
+
+import pytest
+
+from repro.host import EthernetHost, IOUser, ethernet_testbed, ib_pair
+from repro.core import OdpMemoryRegion, PinnedMemoryRegion
+from repro.nic import RxMode
+from repro.sim import Environment
+from repro.sim.units import GB, Gbps, MB, PAGE_SIZE
+
+
+def test_ethernet_testbed_wiring():
+    env = Environment()
+    server, client, srv_user, cli_user = ethernet_testbed(
+        env, RxMode.BACKUP, server_rate=12 * Gbps, client_rate=40 * Gbps
+    )
+    # The prototype's asymmetry: server NIC at 12, client->server capped.
+    assert server.nic.link.rate_bps == 12 * Gbps
+    assert client.nic.link.rate_bps == 12 * Gbps  # flow-control cap
+    assert srv_user.channel.mode is RxMode.BACKUP
+    assert cli_user.channel.mode is RxMode.PIN
+    assert server.nic.provider is server.provider
+
+
+def test_pin_mode_iouser_pins_rx_pool():
+    env = Environment()
+    host = EthernetHost(env, "h", 64 * MB)
+    user = host.create_iouser("u", RxMode.PIN, ring_size=16)
+    assert isinstance(user.mr, PinnedMemoryRegion)
+    assert user.space.pinned_pages == 16
+
+
+def test_odp_mode_iouser_uses_implicit_mr():
+    env = Environment()
+    host = EthernetHost(env, "h", 64 * MB)
+    user = host.create_iouser("u", RxMode.BACKUP, ring_size=16)
+    assert isinstance(user.mr, OdpMemoryRegion)
+    assert user.space.pinned_pages == 0
+    # Implicit: covers arbitrary later allocations too.
+    heap = user.mmap(4 * MB, name="heap")
+    assert user.mr.covers(heap.vpns()[0])
+
+
+def test_iouser_mmap_pins_iff_pinned_mode():
+    env = Environment()
+    host = EthernetHost(env, "h", 64 * MB)
+    pinned_user = host.create_iouser("p", RxMode.PIN, ring_size=8)
+    odp_user = host.create_iouser("o", RxMode.BACKUP, ring_size=8)
+    region_p = pinned_user.mmap(1 * MB)
+    region_o = odp_user.mmap(1 * MB)
+    assert pinned_user.space.pinned_bytes >= 1 * MB
+    assert odp_user.space.pinned_pages == 0
+    # Override per allocation.
+    region_forced = odp_user.mmap(1 * MB, pinned=True)
+    assert odp_user.space.pinned_bytes == 1 * MB
+    assert region_forced.size == 1 * MB
+    assert region_p.size == region_o.size == 1 * MB
+
+
+def test_bm_size_defaults_to_4x_ring():
+    env = Environment()
+    host = EthernetHost(env, "h", 64 * MB)
+    user = host.create_iouser("u", RxMode.BACKUP, ring_size=32)
+    assert user.channel.ring.bm_size == 128
+
+
+def test_ib_pair_symmetric_links():
+    env = Environment()
+    a, b = ib_pair(env, rate_bps=56 * Gbps)
+    assert a.nic.link.rate_bps == 56 * Gbps
+    assert b.nic.link.rate_bps == 56 * Gbps
+    assert a.memory.total_bytes == 128 * GB
+
+
+def test_hosts_have_independent_memory():
+    env = Environment()
+    server, client, srv_user, cli_user = ethernet_testbed(env, RxMode.PIN)
+    heap = srv_user.mmap(8 * MB)
+    srv_user.space.touch_range(heap.base, heap.size)
+    assert server.memory.used_bytes > 0
+    # The client host's memory is untouched by server-side allocations.
+    client_used_by_pools = client.memory.used_bytes
+    assert client_used_by_pools < server.memory.used_bytes

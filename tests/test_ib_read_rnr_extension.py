@@ -1,0 +1,73 @@
+"""Tests for the paper's recommended RC extension: RNR for RDMA reads."""
+
+from repro.host import ib_pair
+from repro.sim import Environment
+from repro.sim.units import KB, MB, us
+from repro.transport.verbs import Opcode, SendWr, WcStatus
+
+
+def run_read(rnr_for_reads: bool, n_reads: int = 1):
+    env = Environment()
+    a, b = ib_pair(env)
+    qa = a.nic.create_qp(rnr_for_reads=rnr_for_reads)
+    qb = b.nic.create_qp(rnr_for_reads=rnr_for_reads)
+    qa.connect(qb)
+    space_a = a.memory.create_space("a")
+    ra = space_a.mmap(1 * MB)
+    mra = a.driver.register_odp(space_a, ra)   # initiator target: cold
+    a.nic.register_mr(mra)
+    space_b = b.memory.create_space("b")
+    rb = space_b.mmap(1 * MB)
+    mrb = b.driver.register_pinned(space_b, rb)
+    b.nic.register_mr(mrb)
+    for i in range(n_reads):
+        qa.post_send(SendWr(Opcode.RDMA_READ, 16 * KB,
+                            local_addr=ra.base + i * 64 * KB, mr=mra,
+                            remote_addr=rb.base + i * 64 * KB))
+    for _ in range(n_reads):
+        wc = env.run(qa.send_cq.wait())
+        assert wc.status is WcStatus.SUCCESS
+    return env.now, qa
+
+
+def test_extension_avoids_rewind():
+    elapsed, qa = run_read(rnr_for_reads=True)
+    assert qa.read_rnr_nacks == 1
+    assert qa.read_rewinds == 0
+
+
+def test_extension_is_faster_than_rewind():
+    """§4: the rewind-only status quo wastes a full timeout per read fault."""
+    t_rewind, qa_base = run_read(rnr_for_reads=False, n_reads=4)
+    t_rnr, qa_ext = run_read(rnr_for_reads=True, n_reads=4)
+    assert qa_base.read_rewinds == 4
+    # Each fault may take a couple of NACK/retry rounds (the RNR timer is
+    # shorter than fault resolution), but never a rewind.
+    assert qa_ext.read_rnr_nacks >= 4
+    assert qa_ext.read_rewinds == 0
+    # Rewinds (1ms apiece, partially overlapped across the pipelined
+    # reads) cost well over the RNR retry path.
+    assert t_rnr < 0.7 * t_rewind
+    assert t_rewind - t_rnr > 0.0008  # at least ~one rewind timeout saved
+
+
+def test_extension_noop_without_faults():
+    env = Environment()
+    a, b = ib_pair(env)
+    qa = a.nic.create_qp(rnr_for_reads=True)
+    qb = b.nic.create_qp(rnr_for_reads=True)
+    qa.connect(qb)
+    space_a = a.memory.create_space("a")
+    ra = space_a.mmap(1 * MB)
+    mra = a.driver.register_pinned(space_a, ra)
+    a.nic.register_mr(mra)
+    space_b = b.memory.create_space("b")
+    rb = space_b.mmap(1 * MB)
+    mrb = b.driver.register_pinned(space_b, rb)
+    b.nic.register_mr(mrb)
+    qa.post_send(SendWr(Opcode.RDMA_READ, 16 * KB, local_addr=ra.base,
+                        mr=mra, remote_addr=rb.base))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qa.read_rnr_nacks == 0
+    assert env.now < 100 * us

@@ -1,0 +1,166 @@
+"""Unit + property tests for the IOMMU subsystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.iommu import Iommu, IoPageTable, Iotlb, PageRequest, PriQueue
+
+
+# -------------------------------------------------------------- page table
+def test_page_table_map_lookup_unmap():
+    table = IoPageTable(domain_id=1)
+    table.map(10, 100)
+    assert table.lookup(10) == 100
+    assert table.is_mapped(10)
+    assert len(table) == 1
+    assert table.unmap(10) is True
+    assert table.lookup(10) is None
+    assert table.unmap(10) is False
+    assert table.maps == 1 and table.unmaps == 1
+
+
+def test_page_table_batch_map():
+    table = IoPageTable(1)
+    table.map_batch({1: 11, 2: 12, 3: 13})
+    assert dict(table.entries()) == {1: 11, 2: 12, 3: 13}
+
+
+def test_page_table_rejects_bad_frame():
+    with pytest.raises(ValueError):
+        IoPageTable(1).map(0, -1)
+
+
+# ------------------------------------------------------------------- iotlb
+def test_iotlb_hit_miss_accounting():
+    tlb = Iotlb(capacity=4)
+    assert tlb.lookup(1, 5) is None
+    tlb.fill(1, 5, 50)
+    assert tlb.lookup(1, 5) == 50
+    assert tlb.hits == 1 and tlb.misses == 1
+    assert tlb.hit_rate == 0.5
+
+
+def test_iotlb_lru_eviction():
+    tlb = Iotlb(capacity=2)
+    tlb.fill(1, 1, 11)
+    tlb.fill(1, 2, 12)
+    tlb.lookup(1, 1)          # refresh entry 1
+    tlb.fill(1, 3, 13)        # evicts entry 2
+    assert tlb.lookup(1, 2) is None
+    assert tlb.lookup(1, 1) == 11
+    assert tlb.lookup(1, 3) == 13
+
+
+def test_iotlb_invalidate():
+    tlb = Iotlb(capacity=8)
+    tlb.fill(1, 1, 11)
+    assert tlb.invalidate(1, 1) is True
+    assert tlb.invalidate(1, 1) is False
+    assert tlb.lookup(1, 1) is None
+
+
+def test_iotlb_invalidate_domain():
+    tlb = Iotlb(capacity=8)
+    tlb.fill(1, 1, 11)
+    tlb.fill(1, 2, 12)
+    tlb.fill(2, 1, 21)
+    assert tlb.invalidate_domain(1) == 2
+    assert len(tlb) == 1
+    assert tlb.lookup(2, 1) == 21
+
+
+def test_iotlb_capacity_validation():
+    with pytest.raises(ValueError):
+        Iotlb(capacity=0)
+
+
+# ------------------------------------------------------------------- iommu
+def test_translate_present_page():
+    iommu = Iommu()
+    dom = iommu.create_domain()
+    iommu.map(dom.domain_id, 7, 70)
+    first = iommu.translate(dom.domain_id, 7)
+    assert first.frame == 70 and not first.fault and not first.iotlb_hit
+    second = iommu.translate(dom.domain_id, 7)
+    assert second.iotlb_hit
+
+
+def test_translate_nonpresent_page_faults():
+    iommu = Iommu()
+    dom = iommu.create_domain()
+    result = iommu.translate(dom.domain_id, 9)
+    assert result.fault and result.frame is None
+    assert iommu.faults == 1
+
+
+def test_translate_unknown_domain_raises():
+    iommu = Iommu()
+    with pytest.raises(KeyError):
+        iommu.translate(999, 0)
+
+
+def test_unmap_shoots_down_iotlb():
+    iommu = Iommu()
+    dom = iommu.create_domain()
+    iommu.map(dom.domain_id, 7, 70)
+    iommu.translate(dom.domain_id, 7)  # fill IOTLB
+    assert iommu.unmap(dom.domain_id, 7) is True
+    result = iommu.translate(dom.domain_id, 7)
+    assert result.fault  # stale IOTLB entry must not survive
+
+
+def test_unmap_never_mapped_page_reports_false():
+    """The paper's invalidation flow: unmapped pages need no hw interaction."""
+    iommu = Iommu()
+    dom = iommu.create_domain()
+    assert iommu.unmap(dom.domain_id, 4) is False
+
+
+def test_translate_range():
+    iommu = Iommu()
+    dom = iommu.create_domain()
+    iommu.map_batch(dom.domain_id, {0: 10, 1: 11})
+    results = iommu.translate_range(dom.domain_id, 0, 3)
+    assert [r.fault for r in results] == [False, False, True]
+
+
+def test_destroy_domain_clears_state():
+    iommu = Iommu()
+    dom = iommu.create_domain()
+    iommu.map(dom.domain_id, 1, 10)
+    iommu.translate(dom.domain_id, 1)
+    iommu.destroy_domain(dom.domain_id)
+    with pytest.raises(KeyError):
+        iommu.translate(dom.domain_id, 1)
+
+
+@given(st.dictionaries(st.integers(0, 100), st.integers(0, 1000), max_size=40))
+def test_translation_matches_page_table_contents(mapping):
+    """Property: translate() agrees with the installed PTEs exactly."""
+    iommu = Iommu(iotlb_capacity=8)
+    dom = iommu.create_domain()
+    iommu.map_batch(dom.domain_id, mapping)
+    for iopn in range(0, 101):
+        result = iommu.translate(dom.domain_id, iopn)
+        if iopn in mapping:
+            assert not result.fault and result.frame == mapping[iopn]
+        else:
+            assert result.fault
+
+
+# ----------------------------------------------------------------- ats/pri
+def test_pri_queue_fifo_and_overflow():
+    pri = PriQueue(capacity=2)
+    assert pri.request(PageRequest(1, 1))
+    assert pri.request(PageRequest(1, 2))
+    assert not pri.request(PageRequest(1, 3))
+    assert pri.overflows == 1
+    served = []
+    assert pri.drain(lambda req: served.append(req.iopn)) == 2
+    assert served == [1, 2]
+    assert len(pri) == 0
+
+
+def test_pri_queue_validation():
+    with pytest.raises(ValueError):
+        PriQueue(capacity=0)

@@ -1,0 +1,168 @@
+"""Tests for copy-on-write forking and page deduplication (Table 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import FaultKind, Memory
+from repro.sim.units import PAGE_SIZE
+
+
+def make(pages=32):
+    mem = Memory(pages * PAGE_SIZE)
+    parent = mem.create_space("parent")
+    region = parent.mmap(8 * PAGE_SIZE)
+    parent.touch_range(region.base, region.size)
+    return mem, parent, region
+
+
+def test_fork_shares_frames():
+    mem, parent, region = make()
+    used_before = mem.used_bytes
+    child = mem.fork_cow(parent)
+    # No new frames: the fork is free until divergence.
+    assert mem.used_bytes == used_before
+    assert child.resident_pages == parent.resident_pages
+    for vpn in region.vpns():
+        assert child.translate(vpn) == parent.translate(vpn)
+        assert child.is_cow(vpn) and parent.is_cow(vpn)
+
+
+def test_fork_inherits_regions():
+    mem, parent, region = make()
+    child = mem.fork_cow(parent)
+    assert child.regions == parent.regions
+
+
+def test_read_touch_keeps_share():
+    mem, parent, region = make()
+    child = mem.fork_cow(parent)
+    vpn = region.vpns()[0]
+    fault = child.touch_page(vpn)  # read
+    assert fault.kind is FaultKind.HIT
+    assert child.translate(vpn) == parent.translate(vpn)
+
+
+def test_write_breaks_cow_with_copy_cost():
+    mem, parent, region = make()
+    child = mem.fork_cow(parent)
+    vpn = region.vpns()[0]
+    used_before = mem.used_bytes
+    fault = child.touch_page(vpn, write=True)
+    assert fault.kind is FaultKind.MINOR
+    assert fault.latency > 0  # includes the page copy
+    assert child.translate(vpn) != parent.translate(vpn)
+    assert not child.is_cow(vpn)
+    assert parent.is_cow(vpn)  # parent's side still marked (harmless)
+    assert mem.used_bytes == used_before + PAGE_SIZE
+    assert mem.cow_breaks == 1
+
+
+def test_parent_write_also_gets_private_copy():
+    mem, parent, region = make()
+    child = mem.fork_cow(parent)
+    vpn = region.vpns()[0]
+    parent.touch_page(vpn, write=True)
+    assert parent.translate(vpn) != child.translate(vpn)
+
+
+def test_cow_break_notifies_mmu_chain():
+    """The NIC's I/O PTE must be shot down when the frame changes."""
+    mem, parent, region = make()
+    child = mem.fork_cow(parent)
+    invalidated = []
+    child.register_notifier(lambda sp, vpn: invalidated.append(vpn))
+    vpn = region.vpns()[0]
+    child.touch_page(vpn, write=True)
+    assert invalidated == [vpn]
+
+
+def test_eviction_of_shared_page_keeps_sibling_intact():
+    mem = Memory(8 * PAGE_SIZE)
+    parent = mem.create_space("p")
+    region = parent.mmap(6 * PAGE_SIZE)
+    parent.touch_range(region.base, region.size)
+    child = mem.fork_cow(parent)
+    # Pressure: new space needs frames; shared pages get evicted from
+    # one side at a time without corrupting the other.
+    other = mem.create_space("other")
+    hog = other.mmap(4 * PAGE_SIZE)
+    other.touch_range(hog.base, hog.size)
+    for vpn in region.vpns():
+        frame_p = parent.translate(vpn)
+        frame_c = child.translate(vpn)
+        # Any still-resident mapping must be a valid frame.
+        assert frame_p is None or frame_p >= 0
+        assert frame_c is None or frame_c >= 0
+    # Evicted pages can be brought back (swap holds them).
+    for vpn in region.vpns():
+        parent.touch_page(vpn)
+        assert parent.is_present(vpn)
+
+
+def test_dedup_merges_frames():
+    mem = Memory(32 * PAGE_SIZE)
+    a = mem.create_space("a")
+    b = mem.create_space("b")
+    ra = a.mmap(PAGE_SIZE)
+    rb = b.mmap(PAGE_SIZE)
+    a.touch_range(ra.base, ra.size)
+    b.touch_range(rb.base, rb.size)
+    used_before = mem.used_bytes
+    assert mem.dedup(a, ra.vpns()[0], b, rb.vpns()[0]) is True
+    assert mem.used_bytes == used_before - PAGE_SIZE
+    assert a.translate(ra.vpns()[0]) == b.translate(rb.vpns()[0])
+    assert mem.deduped_pages == 1
+    # Writing un-merges.
+    b.touch_page(rb.vpns()[0], write=True)
+    assert a.translate(ra.vpns()[0]) != b.translate(rb.vpns()[0])
+
+
+def test_dedup_refuses_pinned_and_missing_pages():
+    mem = Memory(32 * PAGE_SIZE)
+    a = mem.create_space("a")
+    b = mem.create_space("b")
+    ra = a.mmap(PAGE_SIZE)
+    rb = b.mmap(PAGE_SIZE)
+    assert mem.dedup(a, ra.vpns()[0], b, rb.vpns()[0]) is False  # not resident
+    a.pin_range(ra.base, ra.size)
+    b.touch_range(rb.base, rb.size)
+    assert mem.dedup(a, ra.vpns()[0], b, rb.vpns()[0]) is False  # pinned
+    a.unpin_range(ra.base, ra.size)
+    assert mem.dedup(a, ra.vpns()[0], b, rb.vpns()[0]) is True
+    assert mem.dedup(a, ra.vpns()[0], b, rb.vpns()[0]) is False  # already same
+
+
+def test_fork_skips_pinned_pages():
+    mem, parent, region = make()
+    vpn = region.vpns()[0]
+    parent.pin_page(vpn)
+    child = mem.fork_cow(parent)
+    assert not child.is_present(vpn)
+    assert parent.is_present(vpn)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_cow_frame_accounting_invariant(data):
+    """Random fork/write/evict sequences never leak or double-free frames."""
+    mem = Memory(16 * PAGE_SIZE)
+    parent = mem.create_space("p")
+    region = parent.mmap(8 * PAGE_SIZE)
+    parent.touch_range(region.base, region.size)
+    child = mem.fork_cow(parent)
+    spaces = [parent, child]
+    ops = data.draw(st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 7),
+                  st.booleans()),
+        max_size=40,
+    ))
+    for space_idx, page_idx, write in ops:
+        space = spaces[space_idx]
+        vpn = region.vpns()[0] + page_idx
+        space.touch_page(vpn, write=write)
+        # Accounting: allocator's used frames equals the number of
+        # *distinct* frames mapped across all spaces.
+        distinct = set()
+        for sp in mem.spaces:
+            distinct.update(sp._frames.values())
+        assert mem.allocator.used_frames == len(distinct)

@@ -1,0 +1,87 @@
+"""Unit tests for the frame allocator and swap device."""
+
+import pytest
+
+from repro.mem import FrameAllocator, OutOfMemoryError, SwapDevice
+from repro.sim.units import KB, MB, ms
+
+
+def test_allocator_counts():
+    alloc = FrameAllocator(16 * KB, page_size=4 * KB)
+    assert alloc.total_frames == 4
+    assert alloc.free_frames == 4
+    f = alloc.allocate()
+    assert alloc.used_frames == 1
+    assert alloc.used_bytes == 4 * KB
+    alloc.free(f)
+    assert alloc.used_frames == 0
+
+
+def test_allocator_exhaustion():
+    alloc = FrameAllocator(8 * KB, page_size=4 * KB)
+    alloc.allocate()
+    alloc.allocate()
+    with pytest.raises(OutOfMemoryError):
+        alloc.allocate()
+
+
+def test_allocator_reuses_freed_frames():
+    alloc = FrameAllocator(8 * KB, page_size=4 * KB)
+    a = alloc.allocate()
+    alloc.free(a)
+    b = alloc.allocate()
+    assert b == a
+
+
+def test_allocator_validation():
+    with pytest.raises(ValueError):
+        FrameAllocator(0)
+    with pytest.raises(ValueError):
+        FrameAllocator(5000, page_size=4096)  # not a multiple
+    alloc = FrameAllocator(8 * KB, page_size=4 * KB)
+    with pytest.raises(ValueError):
+        alloc.free(0)  # nothing allocated
+    alloc.allocate()
+    with pytest.raises(ValueError):
+        alloc.free(99)  # never handed out
+
+
+def test_swap_store_load_roundtrip():
+    swap = SwapDevice(seek_time=10 * ms)
+    write_latency = swap.store(asid=1, vpn=5)
+    assert write_latency >= 0
+    assert swap.holds(1, 5)
+    assert swap.used_pages == 1
+    read_latency = swap.load(1, 5)
+    assert read_latency >= 10 * ms  # major fault includes the seek
+    assert not swap.holds(1, 5)
+    assert swap.reads == 1 and swap.writes == 1
+
+
+def test_swap_load_missing_page_raises():
+    swap = SwapDevice()
+    with pytest.raises(KeyError):
+        swap.load(1, 1)
+
+
+def test_swap_discard_is_idempotent():
+    swap = SwapDevice()
+    swap.store(1, 1)
+    swap.discard(1, 1)
+    swap.discard(1, 1)
+    assert not swap.holds(1, 1)
+
+
+def test_swap_latency_scales_with_pages():
+    swap = SwapDevice(seek_time=10 * ms, bandwidth_bytes_per_sec=100 * MB)
+    one = swap.read_latency(1)
+    many = swap.read_latency(100)
+    assert many > one
+    assert many == pytest.approx(10 * ms + 100 * 4096 / (100 * MB))
+
+
+def test_swap_parameter_validation():
+    with pytest.raises(ValueError):
+        SwapDevice(seek_time=-1)
+    with pytest.raises(ValueError):
+        SwapDevice(bandwidth_bytes_per_sec=0)

@@ -1,0 +1,310 @@
+"""Unit + property tests for address spaces, demand paging and reclaim."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import FaultKind, Memory, OutOfMemoryError
+from repro.sim.units import KB, MB, PAGE_SIZE
+
+
+def make_memory(pages=8):
+    return Memory(pages * PAGE_SIZE)
+
+
+def test_mmap_is_lazy():
+    mem = make_memory()
+    space = mem.create_space("app")
+    region = space.mmap(1 * MB, name="heap")
+    assert region.size == 1 * MB
+    assert space.resident_pages == 0  # delayed allocation
+    assert mem.used_bytes == 0
+
+
+def test_mmap_validation():
+    mem = make_memory()
+    space = mem.create_space()
+    with pytest.raises(ValueError):
+        space.mmap(0)
+
+
+def test_first_touch_is_minor_fault():
+    mem = make_memory()
+    space = mem.create_space()
+    region = space.mmap(64 * KB)
+    vpn = region.vpns()[0]
+    fault = space.touch_page(vpn)
+    assert fault.kind is FaultKind.MINOR
+    assert fault.latency > 0
+    assert space.is_present(vpn)
+    assert mem.minor_faults == 1
+
+
+def test_second_touch_is_hit():
+    mem = make_memory()
+    space = mem.create_space()
+    vpn = space.mmap(64 * KB).vpns()[0]
+    space.touch_page(vpn)
+    fault = space.touch_page(vpn)
+    assert fault.kind is FaultKind.HIT
+    assert fault.latency == 0.0
+
+
+def test_touch_range_covers_spanning_pages():
+    mem = make_memory()
+    space = mem.create_space()
+    region = space.mmap(64 * KB)
+    # 2 bytes straddling a page boundary touch 2 pages.
+    faults = space.touch_range(region.base + PAGE_SIZE - 1, 2)
+    assert len(faults) == 2
+    assert space.resident_pages == 2
+    assert space.touch_range(region.base, 0) == []
+
+
+def test_eviction_to_swap_and_major_fault_back():
+    mem = make_memory(pages=2)
+    space = mem.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    vpns = list(region.vpns())
+    space.touch_page(vpns[0])
+    space.touch_page(vpns[1])
+    # Third page forces eviction of the LRU page (vpns[0]).
+    fault = space.touch_page(vpns[2])
+    assert fault.kind is FaultKind.MINOR
+    assert fault.evictions == [(space.asid, vpns[0])]
+    assert not space.is_present(vpns[0])
+    assert mem.swap.holds(space.asid, vpns[0])
+    # Touching the evicted page again is a major fault (swap read).
+    back = space.touch_page(vpns[0])
+    assert back.kind is FaultKind.MAJOR
+    assert back.latency >= mem.swap.seek_time
+    assert mem.major_faults == 1
+
+
+def test_lru_order_respects_recency():
+    mem = make_memory(pages=2)
+    space = mem.create_space()
+    vpns = list(space.mmap(4 * PAGE_SIZE).vpns())
+    space.touch_page(vpns[0])
+    space.touch_page(vpns[1])
+    space.touch_page(vpns[0])  # refresh page 0
+    fault = space.touch_page(vpns[2])
+    assert fault.evictions == [(space.asid, vpns[1])]
+
+
+def test_pinned_pages_survive_reclaim():
+    mem = make_memory(pages=2)
+    space = mem.create_space()
+    vpns = list(space.mmap(4 * PAGE_SIZE).vpns())
+    space.pin_page(vpns[0])
+    space.touch_page(vpns[1])
+    fault = space.touch_page(vpns[2])
+    assert (space.asid, vpns[0]) not in fault.evictions
+    assert space.is_present(vpns[0])
+
+
+def test_all_pinned_memory_raises_oom():
+    mem = make_memory(pages=2)
+    space = mem.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    vpns = list(region.vpns())
+    space.pin_page(vpns[0])
+    space.pin_page(vpns[1])
+    with pytest.raises(OutOfMemoryError):
+        space.touch_page(vpns[2])
+
+
+def test_pin_range_rolls_back_on_oom():
+    mem = make_memory(pages=2)
+    space = mem.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    with pytest.raises(OutOfMemoryError):
+        space.pin_range(region.base, 3 * PAGE_SIZE)
+    assert space.pinned_pages == 0  # rollback complete
+
+
+def test_pin_is_reference_counted():
+    mem = make_memory()
+    space = mem.create_space()
+    vpn = space.mmap(PAGE_SIZE).vpns()[0]
+    space.pin_page(vpn)
+    space.pin_page(vpn)
+    space.unpin_page(vpn)
+    assert space.is_pinned(vpn)
+    space.unpin_page(vpn)
+    assert not space.is_pinned(vpn)
+    with pytest.raises(ValueError):
+        space.unpin_page(vpn)
+
+
+def test_unpinned_page_returns_to_lru():
+    mem = make_memory(pages=2)
+    space = mem.create_space()
+    vpns = list(space.mmap(4 * PAGE_SIZE).vpns())
+    space.pin_page(vpns[0])
+    space.unpin_page(vpns[0])
+    space.touch_page(vpns[1])
+    fault = space.touch_page(vpns[2])
+    assert fault.evictions == [(space.asid, vpns[0])]
+
+
+def test_mmu_notifier_fires_on_eviction():
+    mem = make_memory(pages=1)
+    space = mem.create_space()
+    vpns = list(space.mmap(2 * PAGE_SIZE).vpns())
+    invalidated = []
+    space.register_notifier(lambda sp, vpn: invalidated.append((sp.asid, vpn)))
+    space.touch_page(vpns[0])
+    space.touch_page(vpns[1])
+    assert invalidated == [(space.asid, vpns[0])]
+
+
+def test_mmu_notifier_fires_on_munmap():
+    mem = make_memory()
+    space = mem.create_space()
+    region = space.mmap(2 * PAGE_SIZE)
+    invalidated = []
+    space.register_notifier(lambda sp, vpn: invalidated.append(vpn))
+    space.touch_range(region.base, region.size)
+    space.munmap(region)
+    assert sorted(invalidated) == list(region.vpns())
+    assert space.resident_pages == 0
+    assert mem.used_bytes == 0
+
+
+def test_munmap_pinned_page_rejected():
+    mem = make_memory()
+    space = mem.create_space()
+    region = space.mmap(PAGE_SIZE)
+    space.pin_range(region.base, region.size)
+    with pytest.raises(ValueError):
+        space.munmap(region)
+
+
+def test_munmap_foreign_region_rejected():
+    mem = make_memory()
+    a = mem.create_space()
+    b = mem.create_space()
+    region = a.mmap(PAGE_SIZE)
+    with pytest.raises(ValueError):
+        b.munmap(region)
+
+
+def test_unregister_notifier():
+    mem = make_memory(pages=1)
+    space = mem.create_space()
+    vpns = list(space.mmap(2 * PAGE_SIZE).vpns())
+    calls = []
+    fn = lambda sp, vpn: calls.append(vpn)
+    space.register_notifier(fn)
+    space.unregister_notifier(fn)
+    space.touch_page(vpns[0])
+    space.touch_page(vpns[1])
+    assert calls == []
+
+
+def test_close_releases_everything():
+    mem = make_memory()
+    space = mem.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    space.touch_range(region.base, region.size)
+    space.pin_page(region.vpns()[0])
+    space.close()
+    assert mem.used_bytes == 0
+    assert space.asid not in [s.asid for s in mem.spaces]
+    space.close()  # idempotent
+
+
+def test_spaces_compete_for_memory():
+    mem = make_memory(pages=4)
+    a = mem.create_space("a")
+    b = mem.create_space("b")
+    ra = a.mmap(4 * PAGE_SIZE)
+    rb = b.mmap(4 * PAGE_SIZE)
+    a.touch_range(ra.base, ra.size)
+    assert a.resident_pages == 4
+    b.touch_range(rb.base, rb.size)
+    # b's faults evicted a's pages.
+    assert b.resident_pages == 4
+    assert a.resident_pages == 0
+    assert mem.evictions == 4
+
+
+def test_reclaim_proactively_evicts():
+    mem = make_memory(pages=4)
+    space = mem.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    space.touch_range(region.base, region.size)
+    evicted, latency = mem.reclaim(2)
+    assert evicted == 2
+    assert latency > 0
+    assert space.resident_pages == 2
+    # Reclaim with nothing evictable reports zero.
+    space.pin_range(region.base, region.size)
+    assert mem.reclaim(10) == (0, 0.0)
+
+
+def test_region_helpers():
+    mem = make_memory()
+    space = mem.create_space()
+    region = space.mmap(3 * PAGE_SIZE + 1, name="buf")
+    assert region.page_count() == 4
+    assert region.contains(region.base)
+    assert region.contains(region.end - 1)
+    assert not region.contains(region.end)
+    assert space.regions == [region]
+
+
+@settings(max_examples=30)
+@given(
+    touches=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=60),
+    pages=st.integers(min_value=1, max_value=8),
+)
+def test_residency_never_exceeds_physical(touches, pages):
+    """Invariant: resident pages <= physical frames, any access pattern."""
+    mem = Memory(pages * PAGE_SIZE)
+    space = mem.create_space()
+    region = space.mmap(16 * PAGE_SIZE)
+    base_vpn = region.vpns()[0]
+    for offset in touches:
+        space.touch_page(base_vpn + offset)
+        assert space.resident_pages <= pages
+        assert mem.used_bytes <= mem.total_bytes
+    # Every touched page is either resident or in swap (nothing lost).
+    for offset in set(touches):
+        vpn = base_vpn + offset
+        assert space.is_present(vpn) or mem.swap.holds(space.asid, vpn)
+
+
+@settings(max_examples=30)
+@given(st.data())
+def test_pin_unpin_sequences_preserve_accounting(data):
+    """Random pin/unpin/touch sequences keep pin counts and frames consistent."""
+    mem = Memory(8 * PAGE_SIZE)
+    space = mem.create_space()
+    region = space.mmap(8 * PAGE_SIZE)
+    vpns = list(region.vpns())
+    pin_counts = {vpn: 0 for vpn in vpns}
+    ops = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(["pin", "unpin", "touch"]), st.integers(0, 7)),
+            max_size=50,
+        )
+    )
+    for op, idx in ops:
+        vpn = vpns[idx]
+        if op == "pin":
+            space.pin_page(vpn)
+            pin_counts[vpn] += 1
+        elif op == "unpin":
+            if pin_counts[vpn] > 0:
+                space.unpin_page(vpn)
+                pin_counts[vpn] -= 1
+            else:
+                with pytest.raises(ValueError):
+                    space.unpin_page(vpn)
+        else:
+            space.touch_page(vpn)
+        assert space.pinned_pages == sum(1 for c in pin_counts.values() if c > 0)
+        for v, c in pin_counts.items():
+            if c > 0:
+                assert space.is_present(v)

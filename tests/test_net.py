@@ -1,0 +1,154 @@
+"""Unit tests for the network fabric: links, switches, topologies."""
+
+import pytest
+
+from repro.net import Link, Packet, Switch, connect_back_to_back, star
+from repro.sim import Environment
+from repro.sim.units import Gbps, us
+
+
+class Sink:
+    """Test endpoint recording arrivals with timestamps."""
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.env.now, packet))
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet("a", "b", size=0)
+
+
+def test_packet_ids_unique():
+    a = Packet("a", "b", size=100)
+    b = Packet("a", "b", size=100)
+    assert a.pid != b.pid
+
+
+def test_link_delivers_with_serialization_and_propagation():
+    env = Environment()
+    sink = Sink(env, "rx")
+    link = Link(env, rate_bps=1 * Gbps, propagation_delay=5 * us)
+    link.connect(sink.receive)
+    link.send(Packet("tx", "rx", size=1250))  # 10 us serialization at 1 Gbps
+    env.run()
+    assert len(sink.received) == 1
+    t, _ = sink.received[0]
+    assert t == pytest.approx(10 * us + 5 * us)
+    assert link.sent_packets == 1
+    assert link.sent_bytes == 1250
+
+
+def test_link_serializes_back_to_back_packets():
+    env = Environment()
+    sink = Sink(env, "rx")
+    link = Link(env, rate_bps=1 * Gbps, propagation_delay=0.0)
+    link.connect(sink.receive)
+    for _ in range(3):
+        link.send(Packet("tx", "rx", size=1250))
+    env.run()
+    times = [t for t, _ in sink.received]
+    assert times == pytest.approx([10 * us, 20 * us, 30 * us])
+
+
+def test_link_buffer_overflow_drops():
+    env = Environment()
+    sink = Sink(env, "rx")
+    link = Link(env, rate_bps=1 * Gbps, buffer_packets=2)
+    link.connect(sink.receive)
+    results = [link.send(Packet("tx", "rx", size=100)) for _ in range(4)]
+    # First is dequeued by the serializer immediately; queue holds 2 more.
+    assert results.count(False) >= 1
+    assert link.dropped_packets >= 1
+
+
+def test_link_pause_stalls_delivery():
+    env = Environment()
+    sink = Sink(env, "rx")
+    link = Link(env, rate_bps=1 * Gbps, propagation_delay=0.0)
+    link.connect(sink.receive)
+    link.pause()
+    link.send(Packet("tx", "rx", size=1250))
+    env.run(until=0.001)
+    assert sink.received == []
+    assert link.is_paused
+    link.resume()
+    env.run(until=0.002)
+    assert len(sink.received) == 1
+
+
+def test_link_parameter_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Link(env, rate_bps=0)
+    with pytest.raises(ValueError):
+        Link(env, rate_bps=1, propagation_delay=-1)
+
+
+def test_link_without_receiver_raises():
+    env = Environment()
+    link = Link(env, rate_bps=1 * Gbps)
+    link.send(Packet("tx", "rx", size=100))
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_back_to_back_bidirectional():
+    env = Environment()
+    a, b = Sink(env, "a"), Sink(env, "b")
+    ab, ba = connect_back_to_back(env, a, b, rate_bps=10 * Gbps)
+    ab.send(Packet("a", "b", size=1000))
+    ba.send(Packet("b", "a", size=1000))
+    env.run()
+    assert len(a.received) == 1
+    assert len(b.received) == 1
+
+
+def test_back_to_back_asymmetric_rates():
+    env = Environment()
+    a, b = Sink(env, "a"), Sink(env, "b")
+    ab, ba = connect_back_to_back(env, a, b, rate_bps=40 * Gbps, rate_b_to_a=12 * Gbps)
+    assert ab.rate_bps == 40 * Gbps
+    assert ba.rate_bps == 12 * Gbps
+
+
+def test_switch_forwards_by_destination():
+    env = Environment()
+    a, b, c = (Sink(env, n) for n in "abc")
+    switch, uplinks = star(env, [a, b, c], rate_bps=10 * Gbps)
+    uplinks["a"].send(Packet("a", "c", size=500))
+    env.run()
+    assert len(c.received) == 1
+    assert b.received == []
+    assert switch.forwarded == 1
+
+
+def test_switch_drops_unknown_destination():
+    env = Environment()
+    switch = Switch(env)
+    switch.receive(Packet("x", "nowhere", size=100))
+    assert switch.dropped == 1
+
+
+def test_switch_congestion_spreading():
+    """PAUSE on a hot egress propagates to upstream ports (paper §3)."""
+    env = Environment()
+    a, b = Sink(env, "a"), Sink(env, "b")
+    switch, uplinks = star(env, [a, b], rate_bps=10 * Gbps)
+    # Find the egress link for b and stall it, as if b asserted PAUSE.
+    egress_b = switch._ports["b"]
+    egress_b.pause()
+    for _ in range(switch.buffer_per_port + 8):
+        switch.receive(Packet("a", "b", size=100))
+    assert uplinks["a"].is_paused  # a's uplink got paused: congestion spread
+    assert switch.upstream_pauses >= 1
+    # Draining the egress lifts the upstream pause.
+    egress_b.resume()
+    env.run()
+    switch.relieve()
+    assert not uplinks["a"].is_paused

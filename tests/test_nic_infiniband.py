@@ -1,0 +1,221 @@
+"""Tests for the InfiniBand NIC, RC QPs and NPF handling (paper §4)."""
+
+import pytest
+
+from repro.host import connected_qp_pair, ib_pair
+from repro.sim import Environment
+from repro.sim.units import KB, MB, PAGE_SIZE, us, ms
+from repro.transport.verbs import Opcode, RecvWr, SendWr, WcStatus
+
+
+def build(**kwargs):
+    env = Environment()
+    a, b = ib_pair(env, **kwargs)
+    qa, qb = connected_qp_pair(a, b)
+    return env, a, b, qa, qb
+
+
+def regions(host, size=1 * MB, odp=True):
+    space = host.memory.create_space(host.name)
+    region = space.mmap(size)
+    if odp:
+        mr = host.driver.register_odp(space, region)
+    else:
+        mr = host.driver.register_pinned(space, region)
+    host.nic.register_mr(mr)
+    return space, region, mr
+
+
+def test_send_recv_pinned_roundtrip():
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=False)
+    _, rb, mrb = regions(b, odp=False)
+    qb.post_recv(RecvWr(rb.base, 64 * KB, mr=mrb))
+    qa.post_send(SendWr(Opcode.SEND, 64 * KB, local_addr=ra.base, mr=mra))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qb.messages_received == 1
+    assert len(qb.recv_cq) == 1
+    # 64KB at 56Gb/s is ~9.4us; allow wire overheads.
+    assert env.now < 100 * us
+
+
+def test_send_npf_suspends_sender():
+    """Send-side fault: local data, sender just waits (~220us) then sends."""
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=True)
+    _, rb, mrb = regions(b, odp=False)
+    qb.post_recv(RecvWr(rb.base, 4 * KB, mr=mrb))
+    qa.post_send(SendWr(Opcode.SEND, 4 * KB, local_addr=ra.base, mr=mra))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qa.send_faults == 1
+    assert env.now > 200 * us  # paid the NPF
+    assert qb.rnr_nacks_sent == 0
+
+
+def test_receive_npf_triggers_rnr_nack_and_retransmit():
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=False)
+    _, rb, mrb = regions(b, odp=True)  # receiver cold -> rNPF
+    qb.post_recv(RecvWr(rb.base, 4 * KB, mr=mrb))
+    qa.post_send(SendWr(Opcode.SEND, 4 * KB, local_addr=ra.base, mr=mra))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qb.rnr_nacks_sent >= 1
+    assert qa.rnr_retries >= 1
+    assert qb.messages_received == 1
+    assert env.now > 150 * us  # at least one RNR backoff
+
+
+def test_no_posted_recv_is_classic_rnr():
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=False)
+    _, rb, mrb = regions(b, odp=False)
+    qa.post_send(SendWr(Opcode.SEND, 4 * KB, local_addr=ra.base, mr=mra))
+    env.run(until=0.001)
+    assert qb.rnr_nacks_sent >= 1
+    assert qb.messages_received == 0
+    # Posting the buffer lets the next retransmission land.
+    qb.post_recv(RecvWr(rb.base, 4 * KB, mr=mrb))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qb.messages_received == 1
+
+
+def test_rdma_write_responder_fault():
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=False)
+    _, rb, mrb = regions(b, odp=True)
+    qa.post_send(SendWr(Opcode.RDMA_WRITE, 16 * KB, local_addr=ra.base,
+                        mr=mra, remote_addr=rb.base))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qb.rnr_nacks_sent >= 1
+    assert qb.bytes_received == 16 * KB
+    assert not mrb.translate(rb.base >> 12).fault  # pages now mapped
+
+
+def test_rdma_read_responder_fault_waits_locally():
+    """Responder-side read fault: data is local, no NACK needed."""
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=False)
+    _, rb, mrb = regions(b, odp=True)  # remote (responder) pages cold
+    a.nic.register_mr(mra)
+    qa.post_send(SendWr(Opcode.RDMA_READ, 16 * KB, local_addr=ra.base,
+                        mr=mra, remote_addr=rb.base))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qa.read_rewinds == 0
+    assert qb.rnr_nacks_sent == 0
+    assert env.now > 200 * us  # responder resolved its local fault
+
+
+def test_rdma_read_initiator_fault_rewinds():
+    """Initiator-side read fault: RC has no RNR for reads -> rewind."""
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=True)   # initiator target pages cold
+    _, rb, mrb = regions(b, odp=False)
+    qa.post_send(SendWr(Opcode.RDMA_READ, 16 * KB, local_addr=ra.base,
+                        mr=mra, remote_addr=rb.base))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qa.read_rewinds == 1
+    assert env.now > a.nic.costs.read_rewind_timeout  # paid the rewind
+
+
+def test_injected_minor_fault_costs_one_resolution():
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=False)
+    _, rb, mrb = regions(b, odp=False)
+    injected = {"count": 0}
+
+    def inject(message):
+        if injected["count"] == 0:
+            injected["count"] += 1
+            return "minor"
+        return None
+
+    qb.inject_rnpf = inject
+    qb.post_recv(RecvWr(rb.base, 64 * KB, mr=mrb))
+    qa.post_send(SendWr(Opcode.SEND, 64 * KB, local_addr=ra.base, mr=mra))
+    wc = env.run(qa.send_cq.wait())
+    assert wc.status is WcStatus.SUCCESS
+    assert qb.rnr_nacks_sent >= 1
+    assert 200 * us < env.now < 5 * ms
+
+
+def test_injected_major_fault_costs_disk_time():
+    env, a, b, qa, qb = build()
+    _, ra, mra = regions(a, odp=False)
+    _, rb, mrb = regions(b, odp=False)
+    fired = {"done": False}
+
+    def inject(message):
+        if not fired["done"]:
+            fired["done"] = True
+            return "major"
+        return None
+
+    qb.inject_rnpf = inject
+    qb.post_recv(RecvWr(rb.base, 64 * KB, mr=mrb))
+    qa.post_send(SendWr(Opcode.SEND, 64 * KB, local_addr=ra.base, mr=mra))
+    env.run(qa.send_cq.wait())
+    assert env.now > 10 * ms  # disk-bound resolution dominates
+
+
+def test_pipelining_overlaps_messages():
+    """Multiple outstanding WRs beat serialized round trips."""
+    def run(outstanding):
+        env = Environment()
+        a, b = ib_pair(env)
+        qa, qb = connected_qp_pair(a, b, max_outstanding=outstanding)
+        _, ra, mra = regions(a, odp=False)
+        _, rb, mrb = regions(b, odp=False, size=4 * MB)
+        for _ in range(32):
+            qb.post_recv(RecvWr(rb.base, 64 * KB, mr=mrb))
+            qa.post_send(SendWr(Opcode.SEND, 64 * KB, local_addr=ra.base, mr=mra))
+        while qb.messages_received < 32:
+            env.step()
+        return env.now
+
+    assert run(outstanding=8) < run(outstanding=1)
+
+
+def test_stream_isolation_between_qps():
+    """A faulting QP must not slow an unrelated QP down (paper §3)."""
+    env = Environment()
+    a, b = ib_pair(env)
+    q1a, q1b = connected_qp_pair(a, b)
+    q2a, q2b = connected_qp_pair(a, b)
+    _, ra, mra = regions(a, odp=False, size=4 * MB)
+    _, rb_odp, mrb_odp = regions(b, odp=True, size=2 * MB)
+    _, rb_pin, mrb_pin = regions(b, odp=False, size=2 * MB)
+    # QP1 receives into cold ODP memory (faults); QP2 into pinned memory.
+    for i in range(16):
+        q1b.post_recv(RecvWr(rb_odp.base + i * 64 * KB, 64 * KB, mr=mrb_odp))
+        q2b.post_recv(RecvWr(rb_pin.base + i * 64 * KB, 64 * KB, mr=mrb_pin))
+    done = {}
+
+    def drive(qp_a, qp_b, tag):
+        for i in range(16):
+            qp_a.post_send(SendWr(Opcode.SEND, 64 * KB, local_addr=ra.base, mr=mra))
+        while qp_b.messages_received < 16:
+            yield qp_a.send_cq.wait()
+        done[tag] = env.now
+
+    env.process(drive(q1a, q1b, "faulting"))
+    env.process(drive(q2a, q2b, "clean"))
+    env.run(until=1.0)
+    assert "clean" in done and "faulting" in done
+    assert done["clean"] < 2 * ms          # unaffected by QP1's faults
+    assert done["faulting"] > done["clean"]
+
+
+def test_wr_validation():
+    with pytest.raises(ValueError):
+        SendWr(Opcode.SEND, 0)
+    env, a, b, qa, qb = build()
+    lone = a.nic.create_qp()
+    with pytest.raises(RuntimeError):
+        lone.post_send(SendWr(Opcode.SEND, 100))

@@ -1,0 +1,164 @@
+"""Focused tests: interrupt coalescing and the IOprovider's resolver."""
+
+import pytest
+
+from repro.core import IoProvider, NpfDriver
+from repro.iommu import Iommu
+from repro.mem import Memory
+from repro.net import Packet
+from repro.nic import EthernetNic, InterruptLine, RxMode
+from repro.sim import Environment
+from repro.sim.units import PAGE_SIZE, us
+
+
+# ------------------------------------------------------------- interrupts
+def test_interrupt_delivers_after_dispatch_latency():
+    env = Environment()
+    fired = []
+
+    def handler():
+        fired.append(env.now)
+        yield env.timeout(0)
+
+    line = InterruptLine(env, handler, dispatch_latency=5 * us)
+    line.raise_irq()
+    env.run()
+    assert fired == [pytest.approx(5 * us)]
+    assert line.raised == 1 and line.delivered == 1
+
+
+def test_interrupts_coalesce_while_pending():
+    env = Environment()
+    fired = []
+
+    def handler():
+        fired.append(env.now)
+        yield env.timeout(10 * us)
+
+    line = InterruptLine(env, handler, dispatch_latency=5 * us)
+    for _ in range(10):
+        line.raise_irq()  # all before delivery: one handler run
+    env.run()
+    assert line.raised == 10
+    assert line.delivered == 1
+
+
+def test_interrupt_rearms_if_raised_during_handler():
+    env = Environment()
+    fired = []
+    line = None
+
+    def handler():
+        fired.append(env.now)
+        if len(fired) == 1:
+            line.raise_irq()  # new work arrives mid-handler
+        yield env.timeout(10 * us)
+
+    line = InterruptLine(env, handler, dispatch_latency=5 * us)
+    line.raise_irq()
+    env.run()
+    assert line.delivered == 2  # NAPI-style immediate re-poll
+    assert fired[1] > fired[0]
+
+
+def test_interrupt_ready_again_after_completion():
+    env = Environment()
+    count = [0]
+
+    def handler():
+        count[0] += 1
+        yield env.timeout(0)
+
+    line = InterruptLine(env, handler)
+    line.raise_irq()
+    env.run()
+    line.raise_irq()
+    env.run()
+    assert count[0] == 2
+
+
+# --------------------------------------------------------------- provider
+class ProviderHarness:
+    def __init__(self, ring_size=4, bm_size=16, backup_size=32):
+        self.env = Environment()
+        self.memory = Memory(128 * PAGE_SIZE)
+        self.driver = NpfDriver(self.env, Iommu())
+        self.nic = EthernetNic(self.env, "srv", driver=self.driver)
+        self.provider = IoProvider(self.env, self.driver, backup_size=backup_size)
+        self.nic.attach_provider(self.provider)
+        self.space = self.memory.create_space("u")
+        self.mr = self.driver.register_odp_implicit(self.space)
+        self.pool = self.space.mmap(ring_size * PAGE_SIZE)
+        self.channel = self.nic.create_channel(
+            "ch", RxMode.BACKUP, self.mr, ring_size=ring_size, bm_size=bm_size
+        )
+        self.got = []
+        self.channel.set_rx_handler(lambda p: self.got.append(p.payload))
+        self.ring_size = ring_size
+
+    def post_all(self):
+        for i in range(self.ring_size):
+            self.channel.post_recv(self.pool.base + i * PAGE_SIZE, PAGE_SIZE)
+
+    def packet(self, i):
+        return Packet("c", "srv", size=512, channel="ch", payload=i)
+
+
+def test_resolver_waits_for_descriptor_post():
+    """Faults marked beyond the posted tail resolve once buffers appear."""
+    h = ProviderHarness(ring_size=2)
+    h.post_all()
+    for i in range(6):  # 2 ring slots + 4 beyond the tail
+        h.channel.rx(h.packet(i))
+    h.env.run(until=0.05)
+    # Only what had descriptors could complete so far... but auto-repost
+    # recycles buffers as the IOuser consumes, so everything drains.
+    assert h.got == list(range(6))
+    assert h.provider.resolved_packets == 6
+
+
+def test_backup_ring_replenished_from_interrupt_context():
+    h = ProviderHarness(ring_size=4, backup_size=2)
+    h.post_all()
+    # Two faulting packets fill the 2-slot backup ring; the handler
+    # drains it to software queues quickly, making room for more.
+    for i in range(2):
+        h.channel.rx(h.packet(i))
+    assert len(h.provider.backup_ring) == 2
+    h.env.run(until=0.05)
+    assert len(h.provider.backup_ring) == 0
+    for i in range(2, 4):
+        h.channel.rx(h.packet(i))
+    h.env.run(until=0.1)
+    assert h.got == list(range(4))
+
+
+def test_resolver_skips_npf_for_warm_buffers():
+    """Packets parked in backup only because the ring was busy don't pay
+    the NPF machinery."""
+    h = ProviderHarness(ring_size=4)
+    h.post_all()
+    h.env.run(env_until(h.env, h.channel, h.mr, h.pool))
+    faults_before = h.driver.log.npf_count
+    # Ring fully warm: flood more packets than posted descriptors.
+    for i in range(12):
+        h.channel.rx(h.packet(i))
+    h.env.run(until=0.1)
+    assert h.got == list(range(12))
+    # Only fast-path / zero-page events may have been logged, no real ones.
+    new_events = h.driver.log.npf_events[faults_before:]
+    assert all(e.n_pages == 0 for e in new_events)
+
+
+def env_until(env, channel, mr, pool):
+    """Prefault the pool and return the driving process."""
+    return env.process(channel.nic.driver.prefault(mr, pool.base, pool.size))
+
+
+def test_copied_bytes_accounted():
+    h = ProviderHarness(ring_size=2)
+    h.post_all()
+    for i in range(4):
+        h.channel.rx(h.packet(i))
+    h.env.run(until=0.05)
+    assert h.provider.copied_bytes == 4 * 512

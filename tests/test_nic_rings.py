@@ -1,0 +1,149 @@
+"""Tests for the Figure 6 receive-ring state machine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Packet
+from repro.nic import RxDescriptor, RxRing
+
+
+def pkt(n=0):
+    return Packet("c", "s", size=100 + n)
+
+
+def make_ring(size=4, bm_size=None, post=None):
+    ring = RxRing(size, bm_size)
+    for i in range(size if post is None else post):
+        ring.post(RxDescriptor(buffer_addr=0x1000 * (i + 1), buffer_size=2048))
+    return ring
+
+
+def test_ring_validation():
+    with pytest.raises(ValueError):
+        RxRing(0)
+    with pytest.raises(ValueError):
+        RxRing(4, bm_size=0)
+
+
+def test_post_and_direct_store():
+    ring = make_ring()
+    assert ring.has_descriptor()
+    notify = ring.store_direct(pkt())
+    assert notify is True
+    assert ring.head == 1
+    assert ring.completions_available() == 1
+    descriptor = ring.consume()
+    assert descriptor.packet is not None
+
+
+def test_post_beyond_capacity_rejected():
+    ring = make_ring()
+    assert not ring.can_post()
+    with pytest.raises(IndexError):
+        ring.post(RxDescriptor(0x9000, 2048))
+
+
+def test_consume_without_completion_rejected():
+    ring = make_ring()
+    with pytest.raises(IndexError):
+        ring.consume()
+
+
+def test_fault_skips_descriptor_and_blocks_reporting():
+    """A faulting entry freezes head; later direct stores are invisible."""
+    ring = make_ring()
+    bit = ring.mark_fault()          # entry 0 faults
+    assert ring.head == 0 and ring.head_offset == 1
+    notify = ring.store_direct(pkt())  # entry 1 stored fine
+    assert notify is False             # but the IOuser must not be told
+    assert ring.completions_available() == 0
+    # Resolution sweeps past both the fault and the stored entry.
+    advanced = ring.resolve_fault(bit)
+    assert advanced == 2
+    assert ring.completions_available() == 2
+
+
+def test_out_of_order_resolution_preserves_order():
+    """Resolving a newer fault first must not expose packets early."""
+    ring = make_ring(size=8)
+    bit0 = ring.mark_fault()
+    bit1 = ring.mark_fault()
+    assert ring.resolve_fault(bit1) == 0   # older fault still pending
+    assert ring.completions_available() == 0
+    assert ring.resolve_fault(bit0) == 2   # now both sweep at once
+    assert ring.completions_available() == 2
+
+
+def test_bitmap_capacity_bounds_outstanding_faults():
+    ring = make_ring(size=8, bm_size=2)
+    ring.mark_fault()
+    ring.mark_fault()
+    assert not ring.can_fault_to_backup()
+    with pytest.raises(IndexError):
+        ring.mark_fault()
+
+
+def test_bm_size_independent_of_ring_size():
+    """The paper decouples bitmap size from ring size."""
+    ring = make_ring(size=4, bm_size=16)
+    assert ring.bm_size == 16
+    ring2 = RxRing(64)
+    assert ring2.bm_size == 64  # default ties them
+
+
+def test_store_target_advances_with_mixed_traffic():
+    ring = make_ring(size=8)
+    ring.store_direct(pkt())           # head=1
+    bit = ring.mark_fault()            # target 1 faults
+    ring.store_direct(pkt())           # target 2 stored silently
+    assert ring.store_target == 3
+    ring.resolve_fault(bit)
+    assert ring.head == 3 and ring.head_offset == 0
+
+
+def test_descriptor_at_bounds():
+    ring = make_ring(size=4, post=2)
+    assert ring.descriptor_at(0) is not None
+    assert ring.descriptor_at(2) is None   # not posted yet
+    assert ring.descriptor_at(-1) is None
+
+
+def test_repost_after_consume_wraps():
+    ring = make_ring(size=2)
+    for round_ in range(5):
+        ring.store_direct(pkt(round_))
+        descriptor = ring.consume()
+        ring.post(RxDescriptor(descriptor.buffer_addr, descriptor.buffer_size))
+    assert ring.head == 5
+    assert ring.tail == 7
+
+
+@settings(max_examples=40)
+@given(st.data())
+def test_ring_invariants_under_random_traffic(data):
+    """head <= head+offset <= tail; consumed <= head; bitmap bounded."""
+    ring = RxRing(8, bm_size=4)
+    for i in range(8):
+        ring.post(RxDescriptor(0x1000 * (i + 1), 2048))
+    pending_bits = []
+    ops = data.draw(
+        st.lists(st.sampled_from(["store", "fault", "resolve", "consume", "repost"]),
+                 max_size=60)
+    )
+    for op in ops:
+        if op == "store" and ring.has_descriptor():
+            ring.store_direct(pkt())
+        elif op == "fault" and ring.has_descriptor() and ring.can_fault_to_backup():
+            pending_bits.append(ring.mark_fault())
+        elif op == "resolve" and pending_bits:
+            ring.resolve_fault(pending_bits.pop(0))
+        elif op == "consume" and ring.completions_available():
+            ring.consume()
+        elif op == "repost" and ring.can_post():
+            ring.post(RxDescriptor(0x1000, 2048))
+        assert ring.consumed <= ring.head <= ring.head + ring.head_offset <= ring.tail
+        # Only *faults* are bounded by the bitmap; direct stores made while
+        # older faults are pending may push head_offset past bm_size.
+        assert 0 <= ring.head_offset
+        assert len(pending_bits) <= ring.bm_size
+        assert sum(ring.bitmap) == len(pending_bits)

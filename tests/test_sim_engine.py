@@ -1,0 +1,303 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError, all_of, any_of
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(1.5)
+        log.append(env.now)
+        yield env.timeout(0.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [1.5, 2.0]
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_same_time_events_fire_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [42]
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3.0)
+        return "done"
+
+    proc = env.process(child())
+    assert env.run(until=proc) == "done"
+    assert env.now == 3.0
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    log = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+    env.process(ticker())
+    env.run(until=4.5)
+    assert log == [1.0, 2.0, 3.0, 4.0]
+    assert env.now == 4.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_uncaught_process_exception_surfaces_in_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_waiting_on_failed_event_raises_at_yield():
+    env = Environment()
+    caught = []
+
+    def waiter(ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    ev = env.event()
+    env.process(waiter(ev))
+    env.schedule_callback(1.0, lambda: ev.fail(RuntimeError("failed-event")))
+    env.run()
+    assert caught == ["failed-event"]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_interrupt_delivered_as_exception():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def interrupter(target):
+        yield env.timeout(2.0)
+        target.interrupt(cause="wakeup")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [(2.0, "wakeup")]
+
+
+def test_interrupting_dead_process_is_an_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_yield_none_is_cooperative_yield():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        order.append(("start", tag))
+        yield None
+        order.append(("end", tag))
+
+    env.process(proc("a"))
+    env.process(proc("b"))
+    env.run()
+    assert order == [("start", "a"), ("start", "b"), ("end", "a"), ("end", "b")]
+    assert env.now == 0.0
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_waiting_on_already_processed_event_completes_immediately():
+    env = Environment()
+    timeout = env.timeout(1.0, value="early")
+    seen = []
+
+    def late_waiter():
+        yield env.timeout(5.0)
+        value = yield timeout
+        seen.append((env.now, value))
+
+    env.process(late_waiter())
+    env.run()
+    assert seen == [(5.0, "early")]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc():
+        t_fast = env.timeout(1.0, value="fast")
+        t_slow = env.timeout(9.0, value="slow")
+        fired = yield any_of(env, [t_fast, t_slow])
+        results.append((env.now, sorted(fired.values())))
+
+    env.process(proc())
+    env.run(until=2.0)
+    assert results == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def proc():
+        events = [env.timeout(d) for d in (1.0, 3.0, 2.0)]
+        yield all_of(env, events)
+        results.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert results == [3.0]
+
+
+def test_all_of_empty_completes_immediately():
+    env = Environment()
+    results = []
+
+    def proc():
+        yield all_of(env, [])
+        results.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert results == [0.0]
+
+
+def test_schedule_callback_runs_at_time():
+    env = Environment()
+    fired = []
+    env.schedule_callback(2.5, lambda: fired.append(env.now))
+    env.run()
+    assert fired == [2.5]
+
+
+def test_processes_share_a_deterministic_schedule():
+    """Two identical runs produce identical traces."""
+
+    def trace_run():
+        env = Environment()
+        trace = []
+
+        def worker(tag, period):
+            while env.now < 5.0:
+                yield env.timeout(period)
+                trace.append((round(env.now, 6), tag))
+
+        env.process(worker("a", 0.7))
+        env.process(worker("b", 1.1))
+        env.run(until=10.0)
+        return trace
+
+    assert trace_run() == trace_run()
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()

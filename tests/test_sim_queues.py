@@ -1,0 +1,163 @@
+"""Unit tests for Store and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, Store, StoreFull
+from repro.sim.queues import PriorityStore
+
+
+def test_put_get_fifo_order():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for _, item in received] == [0, 1, 2]
+
+
+def test_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5.0)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert received == [(5.0, "late")]
+
+
+def test_bounded_put_blocks_until_space():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")  # blocks until consumer drains "a"
+        times.append(("b", env.now))
+
+    def consumer():
+        yield env.timeout(3.0)
+        item = yield store.get()
+        assert item == "a"
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [("a", 0.0), ("b", 3.0)]
+
+
+def test_put_nowait_raises_when_full():
+    env = Environment()
+    store = Store(env, capacity=2)
+    store.put_nowait(1)
+    store.put_nowait(2)
+    with pytest.raises(StoreFull):
+        store.put_nowait(3)
+    assert store.try_put(3) is False
+    assert len(store) == 2
+
+
+def test_put_nowait_hands_item_to_waiting_getter_even_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer())
+    env.run()  # consumer now blocked on empty store
+    store.put_nowait("direct")
+    env.run()
+    assert got == ["direct"]
+
+
+def test_get_nowait_returns_none_when_empty():
+    env = Environment()
+    store = Store(env)
+    assert store.get_nowait() is None
+    store.put_nowait("x")
+    assert store.peek() == "x"
+    assert store.get_nowait() == "x"
+    assert store.is_empty
+
+
+def test_zero_capacity_rejected():
+    env = Environment()
+    with pytest.raises(Exception):
+        Store(env, capacity=0)
+
+
+def test_priority_store_pops_smallest_first():
+    env = Environment()
+    store = PriorityStore(env)
+    for value in (5, 1, 3):
+        store.put_nowait(value)
+    popped = [store.get_nowait() for _ in range(3)]
+    assert popped == [1, 3, 5]
+
+
+def test_priority_store_blocking_get():
+    env = Environment()
+    store = PriorityStore(env)
+    received = []
+
+    def consumer():
+        item = yield store.get()
+        received.append(item)
+
+    def producer():
+        yield env.timeout(1.0)
+        yield store.put(9)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert received == [9]
+
+
+def test_priority_store_capacity_and_wakeup():
+    env = Environment()
+    store = PriorityStore(env, capacity=1)
+    events = []
+
+    def producer():
+        yield store.put(2)
+        events.append(("put2", env.now))
+        yield store.put(1)
+        events.append(("put1", env.now))
+
+    def consumer():
+        yield env.timeout(2.0)
+        item = yield store.get()
+        events.append(("got", item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put2", 0.0) in events
+    assert ("got", 2, 2.0) in events
+    assert ("put1", 2.0) in events

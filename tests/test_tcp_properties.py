@@ -1,0 +1,163 @@
+"""Deeper TCP tests: loss recovery properties, backoff, failure accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.host import ethernet_testbed
+from repro.nic import RxMode
+from repro.sim import Environment
+from repro.sim.units import KB, MB
+from repro.transport import TcpParams
+from repro.transport.tcp import TcpSegment
+
+
+def build(loss_pattern=None, tcp_params=None):
+    """Testbed with an optional deterministic packet-loss pattern applied
+    to the client->server data direction."""
+    env = Environment()
+    server, client, srv_user, cli_user = ethernet_testbed(
+        env, RxMode.PIN, tcp_params=tcp_params
+    )
+    if loss_pattern is not None:
+        original = cli_user.host.nic.link.send
+        state = {"index": 0}
+
+        def lossy(packet):
+            seg = packet.payload
+            if isinstance(seg, TcpSegment) and seg.length > 0:
+                drop = state["index"] in loss_pattern
+                state["index"] += 1
+                if drop:
+                    return True  # swallowed by the wire
+            return original(packet)
+
+        cli_user.host.nic.link.send = lossy
+    return env, srv_user, cli_user
+
+
+def transfer(env, srv_user, cli_user, n_bytes, until=120.0):
+    got = []
+    def accept(conn):
+        conn.on_receive = lambda c, n: got.append(n)
+    srv_user.stack.listen(accept)
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_established = lambda c: c.send(n_bytes)
+    env.run(until=until)
+    return sum(got), conn
+
+
+@settings(max_examples=15, deadline=None)
+@given(losses=st.sets(st.integers(min_value=0, max_value=400), max_size=6))
+def test_all_bytes_delivered_despite_arbitrary_loss(losses):
+    """Property: TCP delivers everything whatever the loss pattern.
+
+    The pattern drops *transmissions* (retransmissions included), so the
+    set is kept small enough that a worst-case consecutive run recovers
+    within the test horizon (RTO backoff is exponential in run length).
+    """
+    env, srv_user, cli_user = build(
+        loss_pattern=losses, tcp_params=TcpParams(max_retries=20)
+    )
+    delivered, conn = transfer(env, srv_user, cli_user, 512 * KB)
+    assert delivered == 512 * KB
+    assert conn.state == conn.ESTABLISHED
+
+
+def test_burst_loss_recovers_via_go_back_n():
+    """A contiguous hole bigger than one window still completes.
+
+    The dropped transmissions include the RTO retransmissions themselves,
+    so recovery time is exponential in the hole length (each consecutive
+    failure doubles the RTO) — the very dynamic behind the paper's
+    cold-ring deadlock.  Keep the hole small enough to recover quickly.
+    """
+    env, srv_user, cli_user = build(
+        loss_pattern=set(range(10, 18)),
+        tcp_params=TcpParams(max_retries=16, rto_min=0.05),
+    )
+    delivered, conn = transfer(env, srv_user, cli_user, 1 * MB, until=60.0)
+    assert delivered == 1 * MB
+    assert conn.timeouts >= 1
+    assert conn.state == conn.ESTABLISHED
+
+
+def test_rto_backoff_doubles():
+    params = TcpParams(rto_min=0.1)
+    env, srv_user, cli_user = build(
+        loss_pattern=set(range(0, 10_000)),  # black hole
+        tcp_params=params,
+    )
+    got, conn = transfer(env, srv_user, cli_user, 64 * KB, until=20.0)
+    assert got == 0
+    assert conn.rto > params.rto_min  # backoff engaged
+    assert conn.timeouts >= 3
+
+
+def test_max_retries_aborts_connection():
+    params = TcpParams(rto_min=0.05, max_retries=3)
+    env, srv_user, cli_user = build(
+        loss_pattern=set(range(0, 10_000)), tcp_params=params
+    )
+    _, conn = transfer(env, srv_user, cli_user, 64 * KB, until=30.0)
+    assert conn.state == conn.FAILED
+    assert conn.retries > params.max_retries
+
+
+def test_max_total_timeouts_aborts_eventually():
+    """lwIP-style lifetime accounting: flaky links kill the connection."""
+    params = TcpParams(rto_min=0.05, max_total_timeouts=5)
+    # Drop every 3rd data packet: individual retries succeed (resetting
+    # the consecutive counter) but the lifetime counter keeps climbing.
+    env, srv_user, cli_user = build(
+        loss_pattern=set(range(0, 100_000, 3)), tcp_params=params
+    )
+    _, conn = transfer(env, srv_user, cli_user, 4 * MB, until=60.0)
+    assert conn.state == conn.FAILED
+
+
+def test_cwnd_capped_by_rwnd():
+    params = TcpParams(rwnd=64 * KB)
+    env, srv_user, cli_user = build(tcp_params=params)
+    got = []
+    def accept(conn):
+        conn.on_receive = lambda c, n: got.append(n)
+    srv_user.stack.listen(accept)
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_established = lambda c: c.send(2 * MB)
+    env.run(until=0.05)
+    assert conn.inflight <= params.rwnd
+    env.run(until=5.0)
+    assert sum(got) == 2 * MB
+
+
+def test_slow_start_then_congestion_avoidance():
+    env, srv_user, cli_user = build()
+    _, conn = transfer(env, srv_user, cli_user, 2 * MB, until=5.0)
+    # cwnd grew past the initial window during the transfer.
+    assert conn.cwnd > conn.params.init_cwnd_segments * conn.params.mss
+
+
+def test_delivery_is_in_order_and_exactly_once():
+    """Receiver-side accounting: delivered bytes == sent bytes, no dupes."""
+    env, srv_user, cli_user = build(loss_pattern={5, 6, 7, 30, 31})
+    delivered, conn = transfer(env, srv_user, cli_user, 256 * KB)
+    assert delivered == 256 * KB
+    # rcv_nxt on the server connection equals the byte count.
+    server_conn = next(iter(srv_user.stack.connections.values()))
+    assert server_conn.rcv_nxt == 256 * KB
+    assert server_conn.delivered_bytes == 256 * KB
+
+
+def test_two_connections_are_independent():
+    env, srv_user, cli_user = build()
+    per_conn = {}
+    def accept(conn):
+        conn.on_receive = lambda c, n: per_conn.__setitem__(
+            c.conn_id, per_conn.get(c.conn_id, 0) + n)
+    srv_user.stack.listen(accept)
+    c1 = cli_user.stack.connect("server", "srv0")
+    c2 = cli_user.stack.connect("server", "srv0")
+    c1.on_established = lambda c: c.send(128 * KB)
+    c2.on_established = lambda c: c.send(256 * KB)
+    env.run(until=5.0)
+    assert sorted(per_conn.values()) == [128 * KB, 256 * KB]

@@ -1,0 +1,168 @@
+"""Tests for the TCP model over the Ethernet testbed."""
+
+import pytest
+
+from repro.host import ethernet_testbed
+from repro.nic import RxMode
+from repro.sim import Environment
+from repro.sim.units import KB, MB
+from repro.transport import TcpParams
+
+
+def build(server_mode=RxMode.PIN, **kwargs):
+    env = Environment()
+    server, client, srv_user, cli_user = ethernet_testbed(env, server_mode, **kwargs)
+    return env, server, client, srv_user, cli_user
+
+
+def test_handshake_establishes_quickly_on_pinned_server():
+    env, _, _, srv_user, cli_user = build()
+    established = []
+    srv_user.stack.listen(lambda conn: None)
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_established = lambda c: established.append(env.now)
+    env.run(until=0.05)
+    assert established and established[0] < 0.001
+
+
+def test_bulk_transfer_delivers_all_bytes():
+    env, _, _, srv_user, cli_user = build()
+    got = []
+    def accept(conn):
+        conn.on_receive = lambda c, n: got.append(n)
+    srv_user.stack.listen(accept)
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_established = lambda c: c.send(1 * MB)
+    env.run(until=2.0)
+    assert sum(got) == 1 * MB
+
+
+def test_bidirectional_request_response():
+    env, _, _, srv_user, cli_user = build()
+    responses = []
+
+    def accept(server_conn):
+        def on_rx(conn, n):
+            conn.send(10 * KB)  # respond to any request bytes
+        server_conn.on_receive = on_rx
+
+    srv_user.stack.listen(accept)
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_established = lambda c: c.send(100)
+    conn.on_receive = lambda c, n: responses.append(n)
+    env.run(until=1.0)
+    assert sum(responses) == 10 * KB
+
+
+def test_throughput_bounded_by_server_link_rate():
+    env, server, _, srv_user, cli_user = build()
+    got = []
+    def accept(conn):
+        conn.on_receive = lambda c, n: got.append((env.now, n))
+    srv_user.stack.listen(accept)
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_established = lambda c: c.send(4 * MB)
+    env.run(until=2.0)
+    assert sum(n for _, n in got) == 4 * MB
+    finish = max(t for t, _ in got)
+    # 4MB over a 12Gb/s link is ~2.8ms; allow protocol overhead headroom.
+    assert 0.002 < finish < 0.1
+
+
+def test_cold_ring_stalls_drop_mode():
+    """The headline §5 effect: drop mode nearly deadlocks at startup."""
+    env, _, _, srv_user, cli_user = build(server_mode=RxMode.DROP, ring_size=16)
+    got = []
+    def accept(conn):
+        conn.on_receive = lambda c, n: got.append((env.now, n))
+    srv_user.stack.listen(accept)
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_established = lambda c: c.send(256 * KB)
+    env.run(until=1.0)
+    delivered_early = sum(n for t, n in got if t < 0.5)
+    assert delivered_early < 256 * KB  # far from done after 500ms
+    env.run(until=30.0)
+    assert sum(n for _, n in got) == 256 * KB  # eventually recovers
+
+
+def test_backup_mode_tracks_pin_mode():
+    """Backup ~= pin once warm; drop is catastrophic (paper Figure 4a)."""
+    def run(mode):
+        env, _, _, srv_user, cli_user = build(server_mode=mode, ring_size=64)
+        done = []
+        def accept(conn):
+            conn.on_receive = lambda c, n: done.append(env.now)
+        srv_user.stack.listen(accept)
+        conn = cli_user.stack.connect("server", "srv0")
+        conn.on_established = lambda c: c.send(1 * MB)
+        env.run(until=25.0)
+        cold = max(done)
+        # Second, warm transfer on the same (now mapped) ring.
+        start = env.now
+        done.clear()
+        conn.send(1 * MB)
+        env.run(until=start + 25.0)
+        warm = max(done) - start
+        return cold, warm
+
+    pin_cold, pin_warm = run(RxMode.PIN)
+    backup_cold, backup_warm = run(RxMode.BACKUP)
+    drop_cold, _ = run(RxMode.DROP)
+    # Cold: backup pays a tolerable delay; dropping nearly deadlocks.
+    assert backup_cold < 50 * pin_cold
+    assert drop_cold > 20 * backup_cold
+    # Warm: demand-paged ring performs like the pinned one.
+    assert backup_warm < 1.5 * pin_warm
+
+
+def test_connection_fails_after_max_syn_retries():
+    env, server, _, srv_user, cli_user = build(
+        server_mode=RxMode.PIN,
+        tcp_params=TcpParams(max_syn_retries=2, syn_timeout=0.1),
+    )
+    # No listener: server stack ignores SYNs entirely.
+    failures = []
+    conn = cli_user.stack.connect("server", "srv0")
+    conn.on_failed = lambda c: failures.append(env.now)
+    env.run(until=5.0)
+    assert failures
+    assert conn.state == conn.FAILED
+    with pytest.raises(Exception):
+        conn.send(100)
+
+
+def test_send_validation():
+    env, _, _, srv_user, cli_user = build()
+    conn = cli_user.stack.connect("server", "srv0")
+    with pytest.raises(ValueError):
+        conn.send(0)
+
+
+def test_fast_retransmit_recovers_from_single_loss():
+    """A single drop with continuing traffic recovers via dup ACKs, not RTO."""
+    env, server, _, srv_user, cli_user = build(server_mode=RxMode.PIN)
+    got = []
+    def accept(conn):
+        conn.on_receive = lambda c, n: got.append(n)
+    srv_user.stack.listen(accept)
+    conn = cli_user.stack.connect("server", "srv0")
+    env.run(until=0.01)  # establish first
+
+    # Force exactly one data packet to vanish on the wire.
+    original_send = cli_user.host.nic.link.send
+    state = {"dropped": False}
+
+    def lossy_send(packet):
+        seg = packet.payload
+        if (not state["dropped"] and getattr(seg, "length", 0) > 0
+                and seg.seq > 0):
+            state["dropped"] = True
+            return True  # swallowed
+        return original_send(packet)
+
+    cli_user.host.nic.link.send = lossy_send
+    conn.send(512 * KB)
+    env.run(until=0.15)
+    assert sum(got) == 512 * KB
+    assert conn.fast_retransmits >= 1
+    assert conn.timeouts == 0  # recovered without an RTO

@@ -1,0 +1,72 @@
+"""Tests for the UD transport: lossy by nature, NPFs drop datagrams."""
+
+import pytest
+
+from repro.host import ib_pair
+from repro.sim import Environment
+from repro.sim.units import KB, MB, ms
+from repro.transport.ud import UdEndpoint
+from repro.transport.verbs import RecvWr
+
+
+def build(odp=False, buffered=False):
+    env = Environment()
+    a, b = ib_pair(env)
+    sender = UdEndpoint(a.nic)
+    receiver = UdEndpoint(b.nic, buffered_fallback=buffered)
+    space = b.memory.create_space("udbuf")
+    region = space.mmap(1 * MB)
+    if odp:
+        mr = b.driver.register_odp(space, region)
+    else:
+        mr = b.driver.register_pinned(space, region)
+    return env, a, b, sender, receiver, region, mr
+
+
+def test_ud_delivers_to_posted_buffer():
+    env, a, b, sender, receiver, region, mr = build()
+    receiver.post_recv(RecvWr(region.base, 4 * KB, mr=mr))
+    sender.send(receiver, 4 * KB)
+    env.run(until=1 * ms)
+    assert receiver.received == 1
+    assert len(receiver.recv_cq) == 1
+
+
+def test_ud_drops_without_buffer():
+    env, a, b, sender, receiver, region, mr = build()
+    sender.send(receiver, 4 * KB)
+    env.run(until=1 * ms)
+    assert receiver.received == 0
+    assert receiver.dropped_no_buffer == 1
+
+
+def test_ud_rnpf_drops_datagram_but_warms_page():
+    env, a, b, sender, receiver, region, mr = build(odp=True)
+    receiver.post_recv(RecvWr(region.base, 4 * KB, mr=mr))
+    sender.send(receiver, 4 * KB)
+    env.run(until=5 * ms)
+    assert receiver.dropped_rnpf == 1
+    assert receiver.received == 0
+    # The fault resolved in the background; a retry now lands.
+    sender.send(receiver, 4 * KB)
+    env.run(until=10 * ms)
+    assert receiver.received == 1
+
+
+def test_ud_buffered_fallback_saves_datagram():
+    """The backup-ring idea applied to UD (paper §4, last paragraph)."""
+    env, a, b, sender, receiver, region, mr = build(odp=True, buffered=True)
+    receiver.post_recv(RecvWr(region.base, 4 * KB, mr=mr))
+    sender.send(receiver, 4 * KB)
+    env.run(until=5 * ms)
+    assert receiver.received == 1
+    assert receiver.dropped_rnpf == 0
+
+
+def test_ud_unattached_nic_raises():
+    env = Environment()
+    from repro.host.ib import IbHost
+    lonely = IbHost(env, "lonely")
+    ep = UdEndpoint(lonely.nic)
+    with pytest.raises(RuntimeError):
+        ep.send(ep, 100)
