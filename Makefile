@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick profile experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Substrate micro-benchmarks -> BENCH_substrate.json (merges by label;
+## a stored "seed" entry yields a speedup_vs_seed section).
+bench:
+	$(PYTHON) tools/bench_substrate.py --label optimized
+
+bench-quick:
+	$(PYTHON) tools/bench_substrate.py --label optimized --quick
+
+## cProfile over the micro-benchmarks; top-20 by cumulative time.
+profile:
+	$(PYTHON) -m repro.experiments profile
+
+experiments:
+	$(PYTHON) -m repro.experiments run all

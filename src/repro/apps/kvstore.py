@@ -115,8 +115,8 @@ class KvServer:
                 slot = self._insert(key)
             addr = self._slot_addr(slot)
             # Writing the value touches its pages (CPU-side faults).
-            faults = self.iouser.space.touch_range(addr, request.value_size, write=True)
-            cost = self.iouser.space.fault_cost(faults)
+            cost = self.iouser.space.touch_range(addr, request.value_size,
+                                                 write=True).latency
             if cost:
                 yield self.env.timeout(cost)
             framer.send(MISS_RESPONSE_SIZE, KvRequest("stored", key, 0))
@@ -134,8 +134,7 @@ class KvServer:
         addr = self._slot_addr(slot)
         # The CPU reads item metadata; the NIC DMAs the value zero-copy.
         # CPU access to a swapped-out item takes a major fault here.
-        faults = self.iouser.space.touch_range(addr, min(64, self.value_size))
-        cost = self.iouser.space.fault_cost(faults)
+        cost = self.iouser.space.touch_range(addr, min(64, self.value_size)).latency
         if cost:
             yield self.env.timeout(cost)
         framer.send(

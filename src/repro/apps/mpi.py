@@ -186,8 +186,7 @@ class MpiWorld:
         else:  # npf: CPU produces the data, touching the pages (first use
             # costs ordinary CPU minor faults, not NPFs; the send-side NPF
             # path triggers only if the NIC reaches untouched pages).
-            faults = sender.space.touch_range(send_addr, size, write=True)
-            cost = sender.space.fault_cost(faults)
+            cost = sender.space.touch_range(send_addr, size, write=True).latency
             if cost:
                 yield self.env.timeout(cost)
 

@@ -137,12 +137,12 @@ class StorageTarget:
         cache_addr = self.cache_region.base + block * self.block_size
         if self._block_cached(block):
             self.cache_hits += 1
-            faults = self.space.touch_range(cache_addr, self.block_size)
+            cost = self.space.touch_range(cache_addr, self.block_size).latency
         else:
             self.cache_misses += 1
             yield self.env.timeout(self.disk.read_latency(self.block_size))
-            faults = self.space.touch_range(cache_addr, self.block_size, write=True)
-        cost = self.space.fault_cost(faults)
+            cost = self.space.touch_range(cache_addr, self.block_size,
+                                          write=True).latency
         if cost:
             yield self.env.timeout(cost)
 
@@ -154,8 +154,7 @@ class StorageTarget:
         chunk = (session * self.chunks_per_session
                  + counter % self.chunks_per_session) % self.n_chunks
         chunk_addr = self.comm_region.base + chunk * self.chunk_size
-        faults = self.space.touch_range(chunk_addr, io_size, write=True)
-        cost = self.space.fault_cost(faults)
+        cost = self.space.touch_range(chunk_addr, io_size, write=True).latency
         copy_time = io_size / self.host.driver.costs.memcpy_bandwidth
         yield self.env.timeout(cost + copy_time)
 

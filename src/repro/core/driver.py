@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..iommu.iommu import Iommu
-from ..mem.memory import AddressSpace, FaultKind, Region
+from ..mem.memory import AddressSpace, Region
 from ..sim.engine import Environment
 from ..sim.resources import Resource
 from .costs import NpfBreakdown, NpfCosts
@@ -164,26 +164,22 @@ class NpfDriver:
         # (3): the driver queries the OS; pages get allocated / swapped in.
         # The per-page CPU trap cost is *not* charged here: the driver
         # resolves the whole batch in one pass (that is what os_per_page
-        # models), so only disk reads and reclaim writebacks remain.
-        mem_minor = mr.space.memory.costs.minor_fault
-        faults = [mr.space.touch_page(v) for v in pages]
-        swap_latency = 0.0
-        evict_latency = 0.0
-        for f in faults:
-            extra = max(0.0, f.latency - mem_minor)
-            if f.kind is FaultKind.MAJOR:
-                swap_latency += extra
-            else:
-                evict_latency += extra
+        # models), so only disk reads and reclaim writebacks remain —
+        # resolved with one bulk walk, split exactly as the per-page loop
+        # would (swap reads vs. reclaim writebacks above the minor cost).
+        batch = mr.space.touch_vpns(pages)
+        swap_latency = batch.swap_extra
+        evict_latency = batch.evict_extra
         driver_time = (
             self.costs.driver_base + len(pages) * self.costs.os_per_page + evict_latency
         )
         yield self.env.timeout(driver_time + swap_latency)
 
         # (4): batched I/O page-table update + firmware resume.
+        translate = mr.space.translate
         entries = {}
         for v in pages:
-            frame = mr.space.translate(v)
+            frame = translate(v)
             if frame is not None:
                 entries[v] = frame
         self.iommu.map_batch(mr.domain.domain_id, entries)
@@ -195,11 +191,7 @@ class NpfDriver:
         resume = self.costs._jitter(self.costs.resume)
         yield self.env.timeout(resume)
 
-        kind = (
-            NpfKind.MAJOR
-            if any(f.kind is FaultKind.MAJOR for f in faults)
-            else NpfKind.MINOR
-        )
+        kind = NpfKind.MAJOR if batch.majors else NpfKind.MINOR
         breakdown = NpfBreakdown(
             trigger_interrupt=interrupt,
             driver=driver_time,
@@ -233,13 +225,16 @@ class NpfDriver:
         pages = mr.unmapped_vpns(first, n_pages)
         if not pages:
             return 0
-        faults = [mr.space.touch_page(v) for v in pages]
-        entries = {
-            v: mr.space.translate(v) for v in pages if mr.space.translate(v) is not None
-        }
+        batch = mr.space.touch_vpns(pages)
+        translate = mr.space.translate
+        entries = {}
+        for v in pages:
+            frame = translate(v)
+            if frame is not None:
+                entries[v] = frame
         self.iommu.map_batch(mr.domain.domain_id, entries)
         latency = (
-            sum(f.latency for f in faults)
+            batch.latency
             + self.costs.pt_update_base
             + len(pages) * self.costs.pt_update_per_page
         )

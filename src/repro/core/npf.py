@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..sim.stats import StreamingSummary, Summary
 from .costs import InvalidationBreakdown, NpfBreakdown
 
 __all__ = ["NpfKind", "NpfSide", "NpfEvent", "InvalidationEvent", "NpfLog"]
@@ -65,7 +66,19 @@ class InvalidationEvent:
 
 
 class NpfLog:
-    """Accumulates fault and invalidation events for the experiments."""
+    """Accumulates fault and invalidation events for the experiments.
+
+    Two modes:
+
+    * ``keep_events=True`` (default) retains every :class:`NpfEvent` /
+      :class:`InvalidationEvent` — experiments slice them freely and
+      compute exact percentiles.
+    * ``keep_events=False`` is the streaming mode for benchmarks and
+      long soak runs: events are dropped after updating bounded-memory
+      :class:`~repro.sim.stats.StreamingSummary` accumulators (online
+      count/sum/min/max plus P² percentile estimates), overall and
+      per side.
+    """
 
     def __init__(self, keep_events: bool = True):
         self.keep_events = keep_events
@@ -75,6 +88,12 @@ class NpfLog:
         self.minor_count = 0
         self.major_count = 0
         self.invalidation_count = 0
+        self._stream_all: Optional[StreamingSummary] = None
+        self._stream_by_side: Dict[NpfSide, StreamingSummary] = {}
+        self._stream_invalidation: Optional[StreamingSummary] = None
+        if not keep_events:
+            self._stream_all = StreamingSummary()
+            self._stream_invalidation = StreamingSummary()
 
     def record_npf(self, event: NpfEvent) -> None:
         self.npf_count += 1
@@ -84,11 +103,20 @@ class NpfLog:
             self.minor_count += 1
         if self.keep_events:
             self.npf_events.append(event)
+            return
+        latency = event.breakdown.total
+        self._stream_all.add(latency)
+        per_side = self._stream_by_side.get(event.side)
+        if per_side is None:
+            per_side = self._stream_by_side[event.side] = StreamingSummary()
+        per_side.add(latency)
 
     def record_invalidation(self, event: InvalidationEvent) -> None:
         self.invalidation_count += 1
         if self.keep_events:
             self.invalidation_events.append(event)
+        else:
+            self._stream_invalidation.add(event.breakdown.total)
 
     def latencies(self, side: Optional[NpfSide] = None) -> List[float]:
         return [
@@ -96,3 +124,29 @@ class NpfLog:
             for ev in self.npf_events
             if side is None or ev.side is side
         ]
+
+    def npf_summary(self, side: Optional[NpfSide] = None) -> Summary:
+        """Latency summary of serviced NPFs, overall or for one side.
+
+        Works in both modes: exact percentiles when events are retained,
+        P² estimates in streaming mode.  Raises ``ValueError`` when no
+        matching fault has been recorded.
+        """
+        if self.keep_events:
+            return Summary.of(self.latencies(side))
+        if side is None:
+            stream = self._stream_all
+        else:
+            stream = self._stream_by_side.get(side)
+        if stream is None or not stream.count:
+            raise ValueError("summary of empty sample set")
+        return stream.summary()
+
+    def invalidation_summary(self) -> Summary:
+        """Latency summary of MMU-notifier invalidations (both modes)."""
+        if self.keep_events:
+            return Summary.of([ev.latency for ev in self.invalidation_events])
+        stream = self._stream_invalidation
+        if stream is None or not stream.count:
+            raise ValueError("summary of empty sample set")
+        return stream.summary()

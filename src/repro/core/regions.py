@@ -36,6 +36,7 @@ class MemoryRegion:
         self.iommu = iommu
         self.domain = domain
         self._registered = True
+        self._vpn_range = region.vpns()  # contiguous; cached for covers()
 
     @property
     def is_registered(self) -> bool:
@@ -50,7 +51,7 @@ class MemoryRegion:
         return self.region.size
 
     def covers(self, vpn: int) -> bool:
-        return vpn in self.region.vpns()
+        return vpn in self._vpn_range
 
     def translate(self, vpn: int):
         """IOMMU translation for one page of this MR."""
@@ -80,10 +81,11 @@ class PinnedMemoryRegion(MemoryRegion):
         #: latency incurred by registration (pin + populate + map)
         self.registration_latency = 0.0
         faults = space.pin_range(region.base, region.size)
-        self.registration_latency += space.fault_cost(faults)
+        self.registration_latency += faults.latency
+        translate = space.translate
         entries = {}
         for vpn in region.vpns():
-            frame = space.translate(vpn)
+            frame = translate(vpn)
             assert frame is not None, "pinned page must be resident"
             entries[vpn] = frame
         iommu.map_batch(domain.domain_id, entries)
@@ -120,7 +122,6 @@ class OdpMemoryRegion(MemoryRegion):
         super().__init__(space, region, iommu, domain)
         self.driver = driver
         self.registration_latency = 0.0  # ODP registration pins nothing
-        self._vpn_range = region.vpns()
         space.register_notifier(self._on_invalidate)
 
     def _on_invalidate(self, space: AddressSpace, vpn: int) -> Optional[float]:
@@ -129,12 +130,17 @@ class OdpMemoryRegion(MemoryRegion):
         return self.driver.invalidate(self, vpn)
 
     def unmapped_vpns(self, vpn: int, n_pages: int) -> List[int]:
-        """The subset of [vpn, vpn+n_pages) lacking I/O PTEs (would fault)."""
-        return [
-            v
-            for v in range(vpn, vpn + n_pages)
-            if self.covers(v) and not self.domain.is_mapped(v)
-        ]
+        """The subset of [vpn, vpn+n_pages) lacking I/O PTEs (would fault).
+
+        The MR's VA range is contiguous, so the covered subset is itself
+        a range; one bulk page-table sweep finds the non-present entries.
+        """
+        rng = self._vpn_range
+        lo = vpn if vpn > rng.start else rng.start
+        hi = min(vpn + n_pages, rng.stop)
+        if hi <= lo:
+            return []
+        return self.domain.unmapped_in(lo, hi - lo)
 
     def deregister(self) -> float:
         if not self._registered:

@@ -5,8 +5,11 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig3 table4 ...
     python -m repro.experiments run all
+    python -m repro.experiments profile [names...]
 
-Each experiment prints the paper-style table it reproduces.
+Each experiment prints the paper-style table it reproduces; ``profile``
+runs the substrate micro-benchmarks (or named experiments) under
+cProfile and prints the top functions by cumulative time.
 """
 
 from __future__ import annotations
@@ -56,6 +59,49 @@ REGISTRY: Dict[str, Callable] = {
 }
 
 
+def _profile(names: List[str], top: int) -> int:
+    """Run the substrate micro-benchmarks (or experiments) under cProfile."""
+    import cProfile
+    import pstats
+    from pathlib import Path
+
+    if names:
+        unknown = [n for n in names if n not in REGISTRY]
+        if unknown:
+            print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+        def workload():
+            for name in names:
+                REGISTRY[name]()
+
+        label = ", ".join(names)
+    else:
+        # Default: the substrate micro-benchmark suite at reduced scale —
+        # the hot paths every experiment sits on.
+        tools_dir = Path(__file__).resolve().parents[3] / "tools"
+        sys.path.insert(0, str(tools_dir))
+        try:
+            import bench_substrate
+        finally:
+            sys.path.remove(str(tools_dir))
+
+        def workload():
+            for name, (fn, scale, _unit) in bench_substrate.BENCHMARKS.items():
+                fn(max(1, scale // 10))
+
+        label = "substrate micro-benchmarks (1/10 scale)"
+
+    print(f"profiling: {label}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -66,12 +112,25 @@ def main(argv: List[str] | None = None) -> int:
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument("names", nargs="+",
                             help="experiment names, or 'all'")
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile the substrate micro-benchmarks (or experiments) "
+             "under cProfile",
+    )
+    profile_parser.add_argument("names", nargs="*",
+                                help="experiment names (default: substrate "
+                                     "micro-benchmarks)")
+    profile_parser.add_argument("--top", type=int, default=20,
+                                help="how many functions to print (default 20)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name in REGISTRY:
             print(name)
         return 0
+
+    if args.command == "profile":
+        return _profile(args.names, args.top)
 
     names = list(REGISTRY) if args.names == ["all"] else args.names
     unknown = [n for n in names if n not in REGISTRY]

@@ -24,7 +24,12 @@ def _mean(values):
     return sum(values) / len(values) if values else 0.0
 
 
-def run(samples: int = 200, seed: int = 42) -> ExperimentResult:
+def run(samples: int = 200, seed: int = 42, logs=None) -> ExperimentResult:
+    """Run the breakdown microbenchmark.
+
+    ``logs``, when a list, collects each phase's :class:`NpfLog` so
+    callers (the determinism tests) can compare full event streams.
+    """
     result = ExperimentResult(
         experiment_id="figure-3",
         title="Execution breakdown of NPF and invalidation",
@@ -54,6 +59,8 @@ def run(samples: int = 200, seed: int = 42) -> ExperimentResult:
                     driver.invalidate(mr, v)
 
         env.run(env.process(faults()))
+        if logs is not None:
+            logs.append(driver.log)
         events = driver.log.npf_events
         result.add_row(
             case=label,
@@ -80,6 +87,8 @@ def run(samples: int = 200, seed: int = 42) -> ExperimentResult:
             env.run(env.process(driver.prefault(mr, region.base, region.size)))
         for vpn in region.vpns():
             driver.invalidate(mr, vpn)
+        if logs is not None:
+            logs.append(driver.log)
         events = driver.log.invalidation_events
         result.add_row(
             case=label,

@@ -1,7 +1,7 @@
 """IOMMU model: I/O page tables, IOTLB and the ATS/PRI protocol."""
 
 from .ats_pri import PageRequest, PriQueue
-from .iommu import Iommu, Translation
+from .iommu import Iommu, RangeTranslation, Translation
 from .iotlb import Iotlb
 from .nested import FaultLevel, NestedIommu, NestedTranslation
 from .page_table import IoPageTable
@@ -10,6 +10,7 @@ __all__ = [
     "PageRequest",
     "PriQueue",
     "Iommu",
+    "RangeTranslation",
     "Translation",
     "Iotlb",
     "IoPageTable",

@@ -2,7 +2,9 @@
 
 Modeled as an LRU over (domain, I/O page) keys.  The driver must shoot
 down cached translations when it unmaps a page (paper Figure 2, steps
-b–c); :meth:`Iotlb.invalidate` is that shootdown.
+b–c); :meth:`Iotlb.invalidate` is that shootdown and
+:meth:`Iotlb.invalidate_range` is its ranged form (one shootdown
+command covering a run of pages, the way real IOMMUs batch them).
 """
 
 from __future__ import annotations
@@ -36,16 +38,36 @@ class Iotlb:
         return frame
 
     def fill(self, domain_id: int, iopn: int, frame: int) -> None:
+        cache = self._cache
         key = (domain_id, iopn)
-        self._cache[key] = frame
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+        if key in cache:
+            # Refresh recency of an existing entry; a fresh insert already
+            # lands at the MRU end, no move needed.
+            cache.move_to_end(key)
+        cache[key] = frame
+        while len(cache) > self.capacity:
+            cache.popitem(last=False)
 
     def invalidate(self, domain_id: int, iopn: int) -> bool:
         """Shoot down one cached translation; returns whether it was cached."""
         self.invalidations += 1
         return self._cache.pop((domain_id, iopn), None) is not None
+
+    def invalidate_range(self, domain_id: int, iopn: int, n_pages: int) -> int:
+        """One ranged shootdown over ``[iopn, iopn+n_pages)``.
+
+        Counts as a single invalidation command (like
+        :meth:`invalidate_domain`); returns how many cached entries it
+        removed.
+        """
+        cache = self._cache
+        pop = cache.pop
+        removed = 0
+        for p in range(iopn, iopn + n_pages):
+            if pop((domain_id, p), None) is not None:
+                removed += 1
+        self.invalidations += 1
+        return removed
 
     def invalidate_domain(self, domain_id: int) -> int:
         """Shoot down every translation of one domain; returns the count."""

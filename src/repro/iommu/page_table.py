@@ -44,9 +44,25 @@ class IoPageTable:
             return True
         return False
 
+    def unmap_range(self, iopn: int, n_pages: int) -> int:
+        """Remove every translation in ``[iopn, iopn+n_pages)``; returns count."""
+        entries = self._entries
+        removed = 0
+        for p in range(iopn, iopn + n_pages):
+            if p in entries:
+                del entries[p]
+                removed += 1
+        self.unmaps += removed
+        return removed
+
     def lookup(self, iopn: int) -> Optional[int]:
         """Frame for ``iopn`` or None (non-present: would fault)."""
         return self._entries.get(iopn)
+
+    def unmapped_in(self, iopn: int, n_pages: int) -> list:
+        """I/O pages of ``[iopn, iopn+n_pages)`` with no translation."""
+        entries = self._entries
+        return [p for p in range(iopn, iopn + n_pages) if p not in entries]
 
     def is_mapped(self, iopn: int) -> bool:
         return iopn in self._entries

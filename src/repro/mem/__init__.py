@@ -7,6 +7,7 @@ from .memory import (
     MemCosts,
     Memory,
     PageFault,
+    RangeFaults,
     Region,
 )
 from .swap import SwapDevice
@@ -19,6 +20,7 @@ __all__ = [
     "MemCosts",
     "Memory",
     "PageFault",
+    "RangeFaults",
     "Region",
     "SwapDevice",
 ]

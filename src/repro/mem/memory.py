@@ -36,6 +36,7 @@ from .swap import SwapDevice
 __all__ = [
     "FaultKind",
     "PageFault",
+    "RangeFaults",
     "Region",
     "AddressSpace",
     "Memory",
@@ -82,6 +83,50 @@ class PageFault:
     latency: float
     #: pages evicted (asid, vpn) to make room for this one
     evictions: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class RangeFaults:
+    """Aggregate outcome of touching a run of pages (the hot-path form).
+
+    Bulk operations (:meth:`AddressSpace.touch_range`,
+    :meth:`AddressSpace.pin_range`, :meth:`AddressSpace.touch_vpns`)
+    return one of these instead of a per-page :class:`PageFault` list:
+    online counts, the summed latency, and the eviction list — everything
+    the simulated datapaths actually consume.  The per-page records
+    remain available behind ``detail=True`` for tests and debugging.
+
+    ``swap_extra`` / ``evict_extra`` carry the summed above-minor-fault
+    latency of major faults (swap reads) and of reclaim writebacks
+    respectively, split exactly the way the NPF driver charges them.
+    """
+
+    __slots__ = ("pages", "hits", "minors", "majors", "latency",
+                 "swap_extra", "evict_extra", "evictions")
+
+    def __init__(self):
+        self.pages = 0       # pages examined
+        self.hits = 0        # already resident
+        self.minors = 0      # fresh allocations (incl. CoW breaks)
+        self.majors = 0      # swap reads
+        self.latency = 0.0   # total fault latency (== fault_cost of the run)
+        self.swap_extra = 0.0
+        self.evict_extra = 0.0
+        self.evictions: List[Tuple[int, int]] = []  # (asid, vpn) evicted
+
+    def __len__(self) -> int:
+        return self.pages
+
+    @property
+    def faulted(self) -> int:
+        """Pages that actually faulted (non-hits)."""
+        return self.minors + self.majors
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RangeFaults pages={self.pages} hits={self.hits} "
+            f"minors={self.minors} majors={self.majors} "
+            f"latency={self.latency:.3g}s>"
+        )
 
 
 @dataclass(frozen=True)
@@ -232,16 +277,31 @@ class AddressSpace:
             self._dirty.add(vpn)
         return fault
 
-    def touch_range(self, addr: int, size: int, write: bool = False) -> List[PageFault]:
-        """Touch every page overlapping ``[addr, addr+size)``."""
+    def touch_range(self, addr: int, size: int, write: bool = False,
+                    detail: bool = False):
+        """Touch every page overlapping ``[addr, addr+size)``.
+
+        Returns a :class:`RangeFaults` aggregate (the hot path: one bulk
+        walk, no per-page record allocation).  With ``detail=True`` the
+        rich per-page ``List[PageFault]`` form is returned instead —
+        identical state transitions, latencies and eviction order.
+        """
         if size <= 0:
-            return []
+            return [] if detail else RangeFaults()
         first = addr >> PAGE_SHIFT
         last = (addr + size - 1) >> PAGE_SHIFT
-        return [self.touch_page(vpn, write) for vpn in range(first, last + 1)]
+        if detail:
+            return [self.touch_page(vpn, write) for vpn in range(first, last + 1)]
+        return self.memory._touch_bulk(self, range(first, last + 1), write)
 
-    def fault_cost(self, faults: Iterable[PageFault]) -> float:
-        """Total latency of a batch of faults."""
+    def touch_vpns(self, vpns, write: bool = False) -> RangeFaults:
+        """Bulk-touch an arbitrary (ordered) iterable of page numbers."""
+        return self.memory._touch_bulk(self, vpns, write)
+
+    def fault_cost(self, faults) -> float:
+        """Total latency of a batch of faults (rich list or aggregate)."""
+        if isinstance(faults, RangeFaults):
+            return faults.latency
         return sum(f.latency for f in faults)
 
     # -- pinning ------------------------------------------------------------
@@ -263,28 +323,42 @@ class AddressSpace:
         else:
             self._pinned[vpn] = count - 1
 
-    def pin_range(self, addr: int, size: int) -> List[PageFault]:
+    def pin_range(self, addr: int, size: int, detail: bool = False):
         """Pin every page of ``[addr, addr+size)``; returns the populate faults.
 
-        On failure (physical memory exhausted by pinned pages) the partial
-        pinning is rolled back and :class:`OutOfMemoryError` propagates —
-        the static-pinning failure mode of the paper's Table 5.
+        Returns a :class:`RangeFaults` aggregate (``detail=True`` for the
+        per-page list).  On failure (physical memory exhausted by pinned
+        pages) the partial pinning is rolled back and
+        :class:`OutOfMemoryError` propagates — the static-pinning failure
+        mode of the paper's Table 5.
         """
         if size <= 0:
-            return []
+            return [] if detail else RangeFaults()
         first = addr >> PAGE_SHIFT
         last = (addr + size - 1) >> PAGE_SHIFT
-        done: List[int] = []
-        faults: List[PageFault] = []
+        if detail:
+            done: List[int] = []
+            faults: List[PageFault] = []
+            try:
+                for vpn in range(first, last + 1):
+                    faults.append(self.pin_page(vpn))
+                    done.append(vpn)
+            except OutOfMemoryError:
+                for vpn in done:
+                    self.unpin_page(vpn)
+                raise
+            return faults
+        result = RangeFaults()
         try:
-            for vpn in range(first, last + 1):
-                faults.append(self.pin_page(vpn))
-                done.append(vpn)
+            self.memory._touch_bulk(self, range(first, last + 1), False,
+                                    pin=True, out=result)
         except OutOfMemoryError:
-            for vpn in done:
+            # Pages are processed in ascending order, so the first
+            # ``faulted + hits`` pages are exactly the ones pinned.
+            for vpn in range(first, first + result.hits + result.faulted):
                 self.unpin_page(vpn)
             raise
-        return faults
+        return result
 
     def unpin_range(self, addr: int, size: int) -> None:
         if size <= 0:
@@ -425,6 +499,154 @@ class Memory:
             self.minor_faults += 1
             kind = FaultKind.MINOR
         return PageFault(space.asid, vpn, kind, latency + evict_latency, evictions)
+
+    def _touch_bulk(self, space: AddressSpace, vpns, write: bool,
+                    pin: bool = False, out: Optional[RangeFaults] = None) -> RangeFaults:
+        """Bulk form of repeated :meth:`AddressSpace.touch_page` calls.
+
+        Walks ``vpns`` (ascending runs on the range paths) once with every
+        per-page dict lookup inlined, aggregating into a
+        :class:`RangeFaults` instead of allocating a :class:`PageFault`
+        per page.  State transitions, LRU updates, eviction order and the
+        floating-point association of the summed latencies are *exactly*
+        those of the per-page loop — experiment outputs are bit-identical.
+
+        With ``pin=True`` each page is additionally pinned after it is
+        made present (the bulk form of :meth:`AddressSpace.pin_page`).
+        ``out`` lets callers observe partial progress when
+        :class:`OutOfMemoryError` escapes mid-run (pin rollback).
+        """
+        result = out if out is not None else RangeFaults()
+        frames = space._frames
+        cow = space._cow
+        dirty = space._dirty
+        pinned = space._pinned
+        asid = space.asid
+        lru = self._lru
+        lru_move = lru.move_to_end
+        lru_popitem = lru.popitem
+        allocator = self.allocator
+        total_frames = allocator.total_frames
+        free_frames = allocator._free
+        frame_refs = self._frame_refs
+        spaces = self._spaces
+        swap = self.swap
+        swap_slots = swap._slots
+        # The swap device's per-page latencies are pure functions of its
+        # constants; computed once instead of per fault (same floats).
+        swap_read_lat = swap.read_latency(1)
+        swap_write_lat = swap.write_latency(1)
+        evictions_out = result.evictions
+        hit_cost = self.costs.hit
+        minor_cost = self.costs.minor_fault
+        pages = 0
+        hits = 0
+        minors = 0
+        majors = 0
+        latency = result.latency
+        for vpn in vpns:
+            pages += 1
+            key = (asid, vpn)
+            if vpn in frames:
+                if write and vpn in cow:
+                    fault = self._break_cow(space, vpn)
+                    latency += fault.latency
+                    minors += 1
+                    extra = fault.latency - minor_cost
+                    if extra > 0.0:
+                        result.evict_extra += extra
+                    if fault.evictions:
+                        evictions_out.extend(fault.evictions)
+                    dirty.add(vpn)
+                    continue
+                if key in lru:
+                    lru_move(key)
+                hits += 1
+                latency += hit_cost
+                if write:
+                    dirty.add(vpn)
+            else:
+                evict_latency = 0.0
+                # Reclaim until a frame is free: the check-based loop is
+                # the inlined form of allocate()/OutOfMemoryError/
+                # _evict_one() retries — same eviction order, no
+                # exception throw per faulting page.
+                while allocator._used >= total_frames:
+                    if not lru:
+                        # Nothing evictable: surface the allocator's OOM.
+                        result.pages += pages
+                        result.hits += hits
+                        result.minors += minors
+                        result.majors += majors
+                        result.latency = latency
+                        raise OutOfMemoryError(
+                            f"all {total_frames} frames in use"
+                        )
+                    (vasid, vvpn), _ = lru_popitem(last=False)
+                    vspace = spaces[vasid]
+                    vframe = vspace._frames.pop(vvpn)
+                    vspace._cow.discard(vvpn)
+                    refs = frame_refs.get(vframe, 1)
+                    if refs > 1:
+                        frame_refs[vframe] = refs - 1
+                    else:
+                        frame_refs.pop(vframe, None)
+                        allocator._used -= 1
+                        free_frames.append(vframe)
+                    if vvpn in vspace._discardable:
+                        victim_latency = 0.0
+                    else:
+                        swap_slots.add((vasid, vvpn))
+                        swap.writes += 1
+                        victim_latency = swap_write_lat
+                    vspace._dirty.discard(vvpn)
+                    self.evictions += 1
+                    for notifier in vspace._notifiers:
+                        cost = notifier(vspace, vvpn)
+                        if cost:
+                            victim_latency += cost
+                    evictions_out.append((vasid, vvpn))
+                    evict_latency += victim_latency
+                allocator._used += 1
+                if free_frames:
+                    frame = free_frames.pop()
+                else:
+                    frame = allocator._next_fresh
+                    allocator._next_fresh = frame + 1
+                frames[vpn] = frame
+                lru[key] = None  # fresh key lands at the MRU end
+                if key in swap_slots:
+                    swap_slots.remove(key)
+                    swap.reads += 1
+                    page_latency = swap_read_lat + minor_cost
+                    self.major_faults += 1
+                    majors += 1
+                    is_major = True
+                else:
+                    page_latency = minor_cost
+                    self.minor_faults += 1
+                    minors += 1
+                    is_major = False
+                # Same association as PageFault.latency = page + evict.
+                page_latency = page_latency + evict_latency
+                latency += page_latency
+                extra = page_latency - minor_cost
+                if extra > 0.0:
+                    if is_major:
+                        result.swap_extra += extra
+                    else:
+                        result.evict_extra += extra
+                if write:
+                    dirty.add(vpn)
+            if pin:
+                pinned[vpn] = pinned.get(vpn, 0) + 1
+                lru.pop(key, None)
+        result.pages += pages
+        result.hits += hits
+        result.minors += minors
+        result.majors += majors
+        result.latency = latency
+        return result
 
     def _evict_one(self) -> Optional[Tuple[Tuple[int, int], float]]:
         """Evict the least-recently-used unpinned page.

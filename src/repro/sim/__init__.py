@@ -13,7 +13,8 @@ from .engine import (
 from .queues import PriorityStore, Store, StoreFull
 from .resources import Gate, Resource
 from .rng import Rng
-from .stats import Counter, RateMeter, Summary, TimeSeries, percentile
+from .stats import (Counter, P2Quantile, RateMeter, StreamingSummary,
+                    Summary, TimeSeries, percentile)
 from . import units
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "Rng",
     "Counter",
     "RateMeter",
+    "P2Quantile",
+    "StreamingSummary",
     "Summary",
     "TimeSeries",
     "percentile",

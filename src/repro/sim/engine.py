@@ -19,11 +19,22 @@ The kernel is intentionally minimal but complete:
 Determinism: events scheduled for the same timestamp fire in FIFO order
 of scheduling (a monotonically increasing tiebreaker is part of the heap
 key), so runs are exactly reproducible.
+
+Performance: this kernel is the innermost loop of every experiment, so
+the hot paths are deliberately low-level Python.  All event classes use
+``__slots__``; :meth:`Environment.run` inlines the dispatch loop instead
+of calling :meth:`Environment.step` per event; and process bootstrap /
+immediate-resume wake-ups are scheduled through bare pre-triggered
+events built with ``Event.__new__`` rather than the full constructor +
+``succeed`` path.  Every shortcut pushes exactly one heap entry at
+exactly the point the naive code would, so event order — and therefore
+every experiment output — is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -60,6 +71,22 @@ _TRIGGERED = 1  # scheduled on the heap, not yet processed
 _PROCESSED = 2  # callbacks have run
 
 
+def _NO_WAITERS(event):
+    """Shared sentinel for ``callbacks`` = "triggered, nobody waiting yet".
+
+    ``Environment.timeout`` and the internal wake-up hooks are created by
+    the million; allocating a fresh empty list per event just so one
+    waiter can append to it is the single biggest allocation cost in the
+    simulator.  Instead ``callbacks`` holds one of:
+
+    * a ``list``   — the general form (pending events, multiple waiters);
+    * a callable   — exactly one waiter, stored bare (no list);
+    * this sentinel — triggered with no waiters yet (callable no-op, so
+      the dispatch loop can invoke a non-list ``callbacks`` blindly);
+    * ``None``     — the event has been processed.
+    """
+
+
 class Event:
     """A one-shot condition that processes can wait for.
 
@@ -69,14 +96,16 @@ class Event:
     for same-time triggers).
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok = True
         self._state = _PENDING
-        #: set True when a failure was consumed by a waiter (prevents the
-        #: "unhandled failure" error at teardown).
+        # set True when a failure was consumed by a waiter (prevents the
+        # "unhandled failure" error at teardown).
         self._defused = False
 
     # -- introspection -------------------------------------------------
@@ -108,7 +137,9 @@ class Event:
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.env._push(self)
+        env = self.env
+        env._counter += 1
+        heappush(env._heap, (env._now, env._counter, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -124,7 +155,9 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = _TRIGGERED
-        self.env._push(self)
+        env = self.env
+        env._counter += 1
+        heappush(env._heap, (env._now, env._counter, self))
         return self
 
     def _mark_processed(self) -> None:
@@ -138,15 +171,26 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = _TRIGGERED
-        env._push(self, delay=delay)
+        self._defused = False
+        self.delay = delay
+        env._counter += 1
+        heappush(env._heap, (env._now + delay, env._counter, self))
+
+
+# ``object.__new__`` bound once: ``Environment.timeout`` calls it per
+# event; re-fetching ``Timeout.__new__`` there would pay a type
+# attribute lookup on the hottest allocation in the simulator.
+_new_timeout = Timeout.__new__
 
 
 class Process(Event):
@@ -164,81 +208,155 @@ class Process(Event):
     value, or fails with its uncaught exception.
     """
 
+    __slots__ = ("_generator", "_send", "_throw", "_resume_cb", "name",
+                 "_waiting_on")
+
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
         if not hasattr(generator, "send"):
             raise SimulationError(f"process target must be a generator, got {generator!r}")
         self._generator = generator
+        # Bound methods cached once: every wake-up of every process goes
+        # through these, and CPython otherwise allocates a fresh bound
+        # method per access (one extra allocation per event).
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: step the generator at the current time.
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        # Bootstrap: step the generator at the current time (after every
+        # event already scheduled for it — FIFO order is preserved).
+        self._schedule_resume(True, None)
 
     @property
     def is_alive(self) -> bool:
         return self._state == _PENDING
 
+    def _schedule_resume(self, ok: bool, value: Any) -> None:
+        """Schedule a wake-up of this process at the current time.
+
+        Equivalent to allocating a fresh :class:`Event`, registering
+        :meth:`_resume` and triggering it — one heap push at the current
+        time — but skips the constructor and the ``succeed``/``fail``
+        state checks.  ``_defused`` is pre-set so a failure value is
+        considered handled (it is delivered into the generator).
+        """
+        env = self.env
+        hook = Event.__new__(Event)
+        hook.env = env
+        hook.callbacks = self._resume_cb  # single waiter, stored bare
+        hook._value = value
+        hook._ok = ok
+        hook._state = _TRIGGERED
+        hook._defused = True
+        env._counter += 1
+        heappush(env._heap, (env._now, env._counter, hook))
+        self._waiting_on = hook
+
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at its yield point."""
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The process is always findable while alive: whether it waits on
+        an ordinary event, on a bootstrap/immediate wake-up, or on an
+        event that has already *triggered* (scheduled, callbacks not yet
+        run), the stale wake-up is neutralized and exactly one resume —
+        the interrupt — is delivered.  Only a process whose generator has
+        never started cannot be interrupted (there is no yield point to
+        throw into).
+        """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
-        if self._waiting_on is None:
-            # Process not yet started or mid-step: deliver via a fresh event.
+        from inspect import getgeneratorstate  # cold path; avoids a hot-path flag
+        if getgeneratorstate(self._generator) == "GEN_CREATED":
             raise SimulationError(f"process {self.name!r} is not waiting; cannot interrupt")
         target = self._waiting_on
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
-        self._waiting_on = None
+        if target is not None:
+            cbs = target.callbacks
+            if cbs is self._resume_cb:
+                target.callbacks = _NO_WAITERS
+            elif cbs.__class__ is list:
+                try:
+                    cbs.remove(self._resume_cb)
+                except ValueError:
+                    pass
+        # If the target's callbacks were already detached (it is being
+        # processed right now, or was processed), _resume's identity check
+        # against _waiting_on discards the stale wake-up.
         interrupt_ev = Event(self.env)
-        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.callbacks.append(self._resume_cb)
         interrupt_ev.fail(Interrupt(cause))
         interrupt_ev._defused = True
+        self._waiting_on = interrupt_ev
 
     def _resume(self, event: Event) -> None:
-        self._waiting_on = None
-        self.env._active_process = self
+        if self._waiting_on is not event:
+            # Stale wake-up: the process was interrupted (or re-targeted)
+            # after this event triggered but before it was processed.
+            if not event._ok:
+                event._defused = True
+            return
+        # _waiting_on is NOT cleared here: every live exit of this method
+        # overwrites it (wait on the yielded event or a scheduled hook)
+        # and the dead exits make it unreachable, so the store is wasted
+        # work on the hottest path in the simulator.
+        env = self.env
+        # Left pointing at this process after it suspends: the property is
+        # only meaningful *while the generator executes* and resetting it
+        # per resume is pure churn on the hottest path.
+        env._active_process = self
         try:
             if event._ok:
-                result = self._generator.send(event._value)
+                result = self._send(event._value)
             else:
                 event._defused = True
-                result = self._generator.throw(event._value)
+                result = self._throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except Interrupt as exc:
             # An interrupt escaping the generator kills the process cleanly.
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(exc.cause)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
 
         if result is None:
-            result = Timeout(self.env, 0)
-        if not isinstance(result, Event):
+            # Cooperative yield: reschedule at the same timestamp.
+            self._schedule_resume(True, None)
+            return
+        try:
+            # Duck-typed fast path (saves an isinstance per wait): every
+            # Event has a ``callbacks`` slot; anything else raises.
+            result_callbacks = result.callbacks
+        except AttributeError:
             raise SimulationError(
                 f"process {self.name!r} yielded {result!r}; expected an Event or None"
-            )
-        if result.callbacks is None:
-            # Already processed: resume immediately with its value.
-            immediate = Event(self.env)
-            immediate.callbacks.append(self._resume)
+            ) from None
+        if result_callbacks is _NO_WAITERS:
+            # First (sole) waiter on a bare triggered event — the single
+            # hottest wait in the simulator (a fresh ``env.timeout``):
+            # store the callback directly, no list.
+            self._waiting_on = result
+            result.callbacks = self._resume_cb
+        elif result_callbacks is None:
+            # Already processed: resume with its value after the events
+            # currently queued at this timestamp (FIFO order preserved).
             if result._ok:
-                immediate.succeed(result._value)
+                self._schedule_resume(True, result._value)
             else:
                 result._defused = True
-                immediate.fail(result._value)
-                immediate._defused = True
-        else:
+                self._schedule_resume(False, result._value)
+        elif result_callbacks.__class__ is list:
             self._waiting_on = result
-            result.callbacks.append(self._resume)
+            result_callbacks.append(self._resume_cb)
+        else:
+            # Second waiter on an event holding a bare callback.
+            self._waiting_on = result
+            result.callbacks = [result_callbacks, self._resume_cb]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} alive={self.is_alive}>"
@@ -246,6 +364,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for any_of/all_of composite events."""
+
+    __slots__ = ("_events", "_need_all", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event], need_all: bool):
         super().__init__(env)
@@ -259,13 +379,19 @@ class _Condition(Event):
             self.succeed({})
             return
         for ev in self._events:
-            if ev.callbacks is None:
+            cbs = ev.callbacks
+            if cbs is None:
                 self._observe(ev)
                 if self._state != _PENDING:
                     return
             else:
                 self._pending += 1
-                ev.callbacks.append(self._observe)
+                if cbs.__class__ is list:
+                    cbs.append(self._observe)
+                elif cbs is _NO_WAITERS:
+                    ev.callbacks = self._observe
+                else:
+                    ev.callbacks = [cbs, self._observe]
 
     def _results(self) -> dict[Event, Any]:
         return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
@@ -305,6 +431,8 @@ def all_of(env: "Environment", events: Iterable[Event]) -> Event:
 class Environment:
     """The simulation clock and event heap."""
 
+    __slots__ = ("_now", "_heap", "_counter", "_active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
@@ -318,6 +446,13 @@ class Environment:
 
     @property
     def active_process(self) -> Optional[Process]:
+        """The process whose generator is currently executing.
+
+        Only meaningful from code running *inside* a process; between
+        events it may point at the most recently resumed process (the
+        hot path does not reset it), and it is ``None`` after a process
+        terminates.
+        """
         return self._active_process
 
     # -- factories -------------------------------------------------------
@@ -325,7 +460,28 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Inlined Timeout construction: skips type.__call__ + the
+        # __init__ frame on the single hottest allocation in the
+        # simulator.  Field-for-field identical to Timeout.__init__
+        # except that ``callbacks`` starts as the shared no-waiters
+        # sentinel instead of a fresh list (see :func:`_NO_WAITERS`).
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        ev = _new_timeout(Timeout)
+        # ``env`` is left unset: it is only consulted by succeed()/fail(),
+        # which a born-triggered Timeout rejects before touching it.
+        ev.callbacks = _NO_WAITERS
+        ev._value = value
+        ev._ok = True
+        ev._state = _TRIGGERED
+        # _defused is left unset: it is only ever *read* behind a
+        # ``not _ok`` guard, and a Timeout is born ok and already
+        # triggered, so it can never fail.
+        ev.delay = delay
+        tie = self._counter + 1
+        self._counter = tie
+        heappush(self._heap, (self._now + delay, tie, ev))
+        return ev
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -339,7 +495,7 @@ class Environment:
     # -- scheduling --------------------------------------------------------
     def _push(self, event: Event, delay: float = 0.0) -> None:
         self._counter += 1
-        heapq.heappush(self._heap, (self._now + delay, self._counter, event))
+        heappush(self._heap, (self._now + delay, self._counter, event))
 
     def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` simulated seconds (fire-and-forget)."""
@@ -350,15 +506,19 @@ class Environment:
     # -- execution ---------------------------------------------------------
     def step(self) -> None:
         """Process the single next event on the heap."""
-        if not self._heap:
-            raise SimulationError("step() on an empty schedule")
-        when, _tie, event = heapq.heappop(self._heap)
+        try:
+            when, _tie, event = heappop(self._heap)
+        except IndexError:
+            raise SimulationError("step() on an empty schedule") from None
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
+        event._state = _PROCESSED
+        if callbacks.__class__ is list:
+            for callback in callbacks:
+                callback(event)
+        else:
+            callbacks(event)
         if not event._ok and not event._defused:
             raise event._value
 
@@ -371,24 +531,70 @@ class Environment:
         * a number — run until the clock reaches that time;
         * an :class:`Event` — run until that event fires, returning its
           value (or raising its failure).
+
+        The dispatch loops below inline :meth:`step` (minus its pop-guard)
+        because this is the simulator's innermost loop; behaviour is
+        identical, one event per iteration in heap order.
         """
+        heap = self._heap
+        pop = heappop
+        processed = _PROCESSED
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._heap:
+            while stop._state != processed:
+                if not heap:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event fired"
                     )
-                self.step()
+                when, _tie, event = pop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = processed
+                if callbacks.__class__ is list:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    # Bare single waiter (or the no-op sentinel).
+                    callbacks(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             if stop._ok:
                 return stop._value
             stop._defused = True
             raise stop._value
-        deadline = float("inf") if until is None else float(until)
+        if until is None:
+            # Drain the heap completely: no deadline peek per event.
+            while heap:
+                when, _tie, event = pop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = processed
+                if callbacks.__class__ is list:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    callbacks(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
+        deadline = float(until)
         if deadline != float("inf") and deadline < self._now:
             raise SimulationError(f"run(until={until!r}) is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        while heap and heap[0][0] <= deadline:
+            when, _tie, event = pop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = processed
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                callbacks(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if deadline != float("inf"):
             self._now = deadline
         return None

@@ -13,6 +13,8 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 __all__ = [
     "percentile",
     "Summary",
+    "P2Quantile",
+    "StreamingSummary",
     "TimeSeries",
     "RateMeter",
     "Counter",
@@ -61,6 +63,154 @@ class Summary:
             p99=percentile(samples, 99),
             maximum=max(samples),
             minimum=min(samples),
+        )
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac,
+    CACM 1985).
+
+    Keeps five markers whose heights track the quantile without storing
+    samples; exact for the first five observations, O(1) per update
+    thereafter.  Accuracy is more than sufficient for latency
+    percentiles in benchmark/streaming mode — exact percentiles remain
+    available from :class:`Summary` when events are retained.
+    """
+
+    __slots__ = ("p", "_heights", "_positions", "_desired", "_increments", "_count")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1): {p!r}")
+        self.p = p
+        self._heights: List[float] = []
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._count = 0
+
+    def add(self, x: float) -> None:
+        self._count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(x)
+            heights.sort()
+            return
+        # Find the marker interval containing x, clamping the extremes.
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= heights[k + 1]:
+                k += 1
+        positions = self._positions
+        for i in range(k + 1, 5):
+            positions[i] += 1
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._increments[i]
+        # Adjust the three interior markers with parabolic interpolation,
+        # falling back to linear when the parabola leaves the interval.
+        for i in (1, 2, 3):
+            n = positions[i]
+            d = desired[i] - n
+            if (d >= 1.0 and positions[i + 1] - n > 1) or (
+                d <= -1.0 and positions[i - 1] - n < -1
+            ):
+                step = 1 if d >= 1.0 else -1
+                q = heights[i]
+                qp = heights[i + 1]
+                qm = heights[i - 1]
+                np_ = positions[i + 1]
+                nm = positions[i - 1]
+                parabolic = q + step / (np_ - nm) * (
+                    (n - nm + step) * (qp - q) / (np_ - n)
+                    + (np_ - n - step) * (q - qm) / (n - nm)
+                )
+                if qm < parabolic < qp:
+                    heights[i] = parabolic
+                else:
+                    heights[i] = q + step * (
+                        (heights[i + step] - q) / (positions[i + step] - n)
+                    )
+                positions[i] = n + step
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def value(self) -> float:
+        heights = self._heights
+        if not heights:
+            raise ValueError("quantile of empty sample set")
+        if len(heights) < 5:
+            # Fewer than five samples: exact interpolated percentile.
+            return percentile(heights, self.p * 100.0)
+        return heights[2]
+
+
+class StreamingSummary:
+    """Online count/sum/min/max/mean with P² percentile estimates.
+
+    A bounded-memory stand-in for :class:`Summary` when retaining every
+    sample is too expensive (``NpfLog(keep_events=False)``, benchmark
+    loops).  Percentiles are estimates; count/sum/mean/min/max are exact.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_q50", "_q95", "_q99")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._q50 = P2Quantile(0.50)
+        self._q95 = P2Quantile(0.95)
+        self._q99 = P2Quantile(0.99)
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+        self._q50.add(x)
+        self._q95.add(x)
+        self._q99.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self._q50.value()
+
+    @property
+    def p95(self) -> float:
+        return self._q95.value()
+
+    @property
+    def p99(self) -> float:
+        return self._q99.value()
+
+    def summary(self) -> Summary:
+        """Freeze into a :class:`Summary` (percentiles are P² estimates)."""
+        if not self.count:
+            raise ValueError("summary of empty sample set")
+        return Summary(
+            count=self.count,
+            mean=self.mean,
+            p50=self.p50,
+            p95=self.p95,
+            p99=self.p99,
+            maximum=self.maximum,
+            minimum=self.minimum,
         )
 
 

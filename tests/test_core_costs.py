@@ -91,3 +91,76 @@ def test_pin_time_scales_linearly():
 def test_memcpy_time():
     costs = NpfCosts()
     assert costs.memcpy_time(costs.memcpy_bandwidth) == pytest.approx(1.0)
+
+
+# --------------------------------------------------- NpfLog streaming mode
+
+
+def _event(latency_parts, side, kind, t=0.0):
+    from repro.core.npf import NpfEvent
+    from repro.core.costs import NpfBreakdown
+
+    return NpfEvent(time=t, side=side, kind=kind, n_pages=1,
+                    breakdown=NpfBreakdown(*latency_parts))
+
+
+def test_npf_log_streaming_mode_drops_events_keeps_summaries():
+    from repro.core.npf import NpfKind, NpfLog, NpfSide
+
+    log = NpfLog(keep_events=False)
+    for i in range(100):
+        side = NpfSide.SEND if i % 2 else NpfSide.RECEIVE
+        kind = NpfKind.MAJOR if i % 10 == 0 else NpfKind.MINOR
+        log.record_npf(_event((1.0, 2.0, 3.0, 4.0, float(i)), side, kind,
+                              t=float(i)))
+    assert log.npf_events == []                 # nothing retained
+    assert log.npf_count == 100
+    assert log.major_count == 10
+    assert log.minor_count == 90
+    overall = log.npf_summary()
+    assert overall.count == 100
+    assert overall.minimum == 10.0              # breakdown total, i=0
+    assert overall.maximum == 109.0
+    assert log.npf_summary(NpfSide.SEND).count == 50
+    assert log.npf_summary(NpfSide.RECEIVE).count == 50
+    with pytest.raises(ValueError):
+        log.npf_summary(NpfSide.RDMA_READ_INITIATOR)
+
+
+def test_npf_log_summary_agrees_across_modes():
+    from repro.core.npf import NpfKind, NpfLog, NpfSide
+
+    kept = NpfLog(keep_events=True)
+    stream = NpfLog(keep_events=False)
+    rng = Rng(5)
+    for i in range(2_000):
+        ev = _event((rng.uniform(1.0, 5.0), 2.0, 3.0, 4.0),
+                    NpfSide.SEND, NpfKind.MINOR, t=float(i))
+        kept.record_npf(ev)
+        stream.record_npf(ev)
+    exact = kept.npf_summary(NpfSide.SEND)
+    est = stream.npf_summary(NpfSide.SEND)
+    assert est.count == exact.count
+    assert est.minimum == exact.minimum
+    assert est.maximum == exact.maximum
+    assert est.mean == pytest.approx(exact.mean)
+    assert est.p50 == pytest.approx(exact.p50, rel=0.05)
+    assert est.p95 == pytest.approx(exact.p95, rel=0.05)
+
+
+def test_npf_log_streaming_invalidations():
+    from repro.core.costs import InvalidationBreakdown
+    from repro.core.npf import InvalidationEvent, NpfLog
+
+    log = NpfLog(keep_events=False)
+    for i in range(10):
+        log.record_invalidation(InvalidationEvent(
+            time=float(i), vpn=i, was_mapped=True,
+            breakdown=InvalidationBreakdown(1.0, 2.0, float(i)),
+        ))
+    assert log.invalidation_events == []
+    assert log.invalidation_count == 10
+    summary = log.invalidation_summary()
+    assert summary.count == 10
+    assert summary.minimum == 3.0
+    assert summary.maximum == 12.0

@@ -51,6 +51,47 @@ def test_iotlb_lru_eviction():
     assert tlb.lookup(1, 3) == 13
 
 
+def test_iotlb_fill_refreshes_recency():
+    """Re-filling an existing key makes it MRU; fresh inserts need no move.
+
+    Guards the fill fast path: a fresh insert already lands at the MRU
+    end of the OrderedDict, so the explicit ``move_to_end`` only runs on
+    re-fills — and eviction order must come out the same either way.
+    """
+    tlb = Iotlb(capacity=2)
+    tlb.fill(1, 1, 11)
+    tlb.fill(1, 2, 12)
+    tlb.fill(1, 1, 11)        # re-fill: entry 1 becomes MRU again
+    tlb.fill(1, 3, 13)        # evicts entry 2, the true LRU
+    assert tlb.lookup(1, 2) is None
+    assert tlb.lookup(1, 1) == 11
+    assert tlb.lookup(1, 3) == 13
+    # Exact LRU->MRU order, not just membership.
+    assert list(tlb._cache) == [(1, 1), (1, 3)]
+
+
+def test_iotlb_fill_updates_frame_on_refill():
+    tlb = Iotlb(capacity=4)
+    tlb.fill(1, 1, 11)
+    tlb.fill(1, 1, 99)
+    assert tlb.lookup(1, 1) == 99
+    assert len(tlb) == 1
+
+
+def test_iotlb_invalidate_range():
+    tlb = Iotlb(capacity=8)
+    for iopn in range(4):
+        tlb.fill(1, iopn, 100 + iopn)
+    tlb.fill(2, 1, 201)
+    before = tlb.invalidations
+    assert tlb.invalidate_range(1, 1, 2) == 2       # iopns 1..2
+    assert tlb.invalidations == before + 1          # one ranged command
+    assert tlb.lookup(1, 0) == 100
+    assert tlb.lookup(1, 1) is None
+    assert tlb.lookup(1, 2) is None
+    assert tlb.lookup(2, 1) == 201                  # other domain untouched
+
+
 def test_iotlb_invalidate():
     tlb = Iotlb(capacity=8)
     tlb.fill(1, 1, 11)
@@ -122,6 +163,50 @@ def test_translate_range():
     iommu.map_batch(dom.domain_id, {0: 10, 1: 11})
     results = iommu.translate_range(dom.domain_id, 0, 3)
     assert [r.fault for r in results] == [False, False, True]
+
+
+def test_translate_range_aggregate_matches_detail():
+    """detail=False must leave identical IOTLB state and counters."""
+    def build():
+        iommu = Iommu(iotlb_capacity=4)
+        dom = iommu.create_domain()
+        iommu.map_batch(dom.domain_id, {0: 10, 1: 11, 2: 12, 5: 15, 6: 16})
+        return iommu, dom.domain_id
+
+    rich_iommu, rich_dom = build()
+    bulk_iommu, bulk_dom = build()
+
+    rich = rich_iommu.translate_range(rich_dom, 0, 8)
+    bulk = bulk_iommu.translate_range(bulk_dom, 0, 8, detail=False)
+
+    assert bulk.mapped == sum(1 for t in rich if not t.fault)
+    assert bulk.faults == [t.iopn for t in rich if t.fault]
+    assert bulk.iotlb_hits == sum(1 for t in rich if t.iotlb_hit)
+    assert bulk_iommu.faults == rich_iommu.faults
+    assert bulk_iommu.iotlb.hits == rich_iommu.iotlb.hits
+    assert bulk_iommu.iotlb.misses == rich_iommu.iotlb.misses
+    assert list(bulk_iommu.iotlb._cache) == list(rich_iommu.iotlb._cache)
+
+    # Second pass: warm IOTLB, both forms again identical.
+    rich2 = rich_iommu.translate_range(rich_dom, 0, 8)
+    bulk2 = bulk_iommu.translate_range(bulk_dom, 0, 8, detail=False)
+    assert bulk2.iotlb_hits == sum(1 for t in rich2 if t.iotlb_hit)
+    assert list(bulk_iommu.iotlb._cache) == list(rich_iommu.iotlb._cache)
+
+
+def test_unmap_range_batches_shootdown():
+    iommu = Iommu()
+    dom = iommu.create_domain()
+    iommu.map_batch(dom.domain_id, {i: 100 + i for i in range(8)})
+    iommu.translate_range(dom.domain_id, 0, 8, detail=False)  # warm IOTLB
+    before = iommu.iotlb.invalidations
+    assert iommu.unmap_range(dom.domain_id, 2, 4) == 4
+    assert iommu.iotlb.invalidations == before + 1
+    result = iommu.translate_range(dom.domain_id, 0, 8, detail=False)
+    assert result.faults == [2, 3, 4, 5]
+    # Unmapping a never-mapped run skips the shootdown entirely.
+    assert iommu.unmap_range(dom.domain_id, 100, 4) == 0
+    assert iommu.iotlb.invalidations == before + 1
 
 
 def test_destroy_domain_clears_state():

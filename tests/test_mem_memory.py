@@ -56,8 +56,46 @@ def test_touch_range_covers_spanning_pages():
     # 2 bytes straddling a page boundary touch 2 pages.
     faults = space.touch_range(region.base + PAGE_SIZE - 1, 2)
     assert len(faults) == 2
+    assert faults.minors == 2
     assert space.resident_pages == 2
-    assert space.touch_range(region.base, 0) == []
+    empty = space.touch_range(region.base, 0)
+    assert len(empty) == 0 and empty.latency == 0.0
+    assert space.touch_range(region.base, 0, detail=True) == []
+
+
+def test_touch_range_detail_matches_aggregate():
+    """The rich per-page form and the bulk aggregate agree exactly."""
+    mem = make_memory(pages=4)
+    space = mem.create_space()
+    region = space.mmap(8 * PAGE_SIZE)
+    rich = space.touch_range(region.base, 6 * PAGE_SIZE, detail=True)
+
+    mem2 = make_memory(pages=4)
+    space2 = mem2.create_space()
+    region2 = space2.mmap(8 * PAGE_SIZE)
+    agg = space2.touch_range(region2.base, 6 * PAGE_SIZE)
+
+    assert agg.pages == len(rich) == 6
+    assert agg.latency == sum(f.latency for f in rich)
+    assert agg.evictions == [e for f in rich for e in f.evictions]
+    assert agg.minors == sum(1 for f in rich if f.kind is FaultKind.MINOR)
+    assert agg.majors == 0 and agg.hits == 0
+    assert mem2.minor_faults == mem.minor_faults
+    assert mem2.evictions == mem.evictions
+    # Second pass over the resident tail: all hits, zero latency.
+    again = space2.touch_range(region2.base + 4 * PAGE_SIZE, 2 * PAGE_SIZE)
+    assert again.hits == 2 and again.faulted == 0 and again.latency == 0.0
+
+
+def test_touch_range_aggregate_counts_major_faults():
+    mem = make_memory(pages=2)
+    space = mem.create_space()
+    region = space.mmap(4 * PAGE_SIZE)
+    space.touch_range(region.base, region.size)  # churns through swap
+    agg = space.touch_range(region.base, 2 * PAGE_SIZE)
+    assert agg.majors == 2  # first two pages were evicted to swap
+    assert agg.swap_extra > 0.0
+    assert agg.latency >= agg.swap_extra
 
 
 def test_eviction_to_swap_and_major_fault_back():

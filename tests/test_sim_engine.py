@@ -301,3 +301,94 @@ def test_step_on_empty_schedule_raises():
     env = Environment()
     with pytest.raises(SimulationError):
         env.step()
+
+
+def test_interrupt_from_sibling_callback_resumes_once():
+    """Interrupt fired while the awaited event is mid-dispatch.
+
+    During a step, callbacks are detached before running; if callback #1
+    interrupts a process whose ``_resume`` is callback #2 of the *same*
+    event, the stale ``_resume`` must be ignored — historically it
+    double-resumed the generator (delivering the event value on top of
+    the Interrupt, corrupting the process state).
+    """
+    env = Environment()
+    ev = env.event()
+    log = []
+
+    def waiter():
+        try:
+            yield ev
+            log.append(("value", env.now))
+        except Interrupt as exc:
+            log.append(("interrupt", exc.cause, env.now))
+        yield env.timeout(1.0)
+        log.append(("done", env.now))
+
+    target = env.process(waiter())
+
+    def arranger():
+        yield env.timeout(0.0)  # let waiter block on ev first
+        # Run the interrupt as a callback *ahead of* waiter's _resume on
+        # the very event waiter awaits.
+        ev.callbacks.insert(0, lambda event: target.interrupt(cause="stale"))
+        ev.succeed("v")
+
+    env.process(arranger())
+    env.run()
+    assert log == [("interrupt", "stale", 0.0), ("done", 1.0)]
+
+
+def test_interrupt_during_cooperative_yield():
+    """A process parked on ``yield None`` is interruptible."""
+    env = Environment()
+    log = []
+
+    def coop():
+        try:
+            yield None
+            log.append("resumed")
+        except Interrupt as exc:
+            log.append(("interrupt", exc.cause))
+
+    def interrupter(target):
+        target.interrupt(cause="now")
+        yield env.timeout(0.0)
+
+    target = env.process(coop())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [("interrupt", "now")]
+
+
+def test_interrupting_unstarted_process_is_an_error():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    p = env.process(proc())
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_second_interrupt_wins():
+    """Back-to-back interrupts deliver the most recent cause exactly once."""
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def interrupter(target):
+        yield env.timeout(1.0)
+        target.interrupt(cause="first")
+        target.interrupt(cause="second")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [(1.0, "second")]

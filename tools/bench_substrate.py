@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Wall-clock micro-benchmarks of the simulation substrate.
+
+Times the three layers every experiment sits on — the DES kernel, the
+demand-paging fault path and the IOMMU translate path — plus one full
+end-to-end experiment, and records ops/s + wall seconds in a JSON file
+(``BENCH_substrate.json`` by default) keyed by ``--label``.
+
+Typical use::
+
+    # capture the baseline on the seed commit
+    PYTHONPATH=src python tools/bench_substrate.py --label seed
+
+    # after an optimization pass
+    PYTHONPATH=src python tools/bench_substrate.py --label optimized
+
+When the output file holds both a ``seed`` entry and the current label,
+a ``speedup_vs_seed`` section is (re)computed so perf PRs carry their
+own before/after evidence.  Each benchmark runs ``--repeat`` times and
+keeps the best wall time (the usual way to suppress scheduler noise).
+
+The benchmarks call the *fastest API the checkout offers* (falling back
+to the per-page forms on older checkouts), because the figure-level
+experiments ride whatever the substrate's hot path is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core import NpfDriver  # noqa: E402
+from repro.core.npf import NpfSide  # noqa: E402
+from repro.iommu import Iommu  # noqa: E402
+from repro.mem import Memory  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.sim.units import PAGE_SIZE  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# benchmark bodies: each returns the number of "operations" it performed
+# ---------------------------------------------------------------------------
+
+def bench_des_dispatch(scale: int) -> int:
+    """Schedule + dispatch ``scale`` timeout events through one process."""
+    env = Environment()
+
+    def ticker():
+        timeout = env.timeout
+        for _ in range(scale):
+            yield timeout(1e-6)
+
+    env.process(ticker())
+    env.run()
+    return scale
+
+
+def bench_des_processes(scale: int) -> int:
+    """Process churn: spawn/bootstrap/join chains (stresses _resume)."""
+    env = Environment()
+    n_children = scale // 4
+
+    def child():
+        yield env.timeout(1e-6)
+        return 1
+
+    def parent():
+        total = 0
+        for _ in range(n_children):
+            total += yield env.process(child())
+            yield None  # cooperative yield: immediate reschedule path
+        return total
+
+    done = env.process(parent())
+    env.run(done)
+    return n_children * 4
+
+
+def bench_touch_range_hit(scale: int) -> int:
+    """Steady-state DMA touch of a resident buffer (the common case)."""
+    pages = 1024
+    memory = Memory(4 * pages * PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(pages * PAGE_SIZE)
+    touch = getattr(space, "touch_range_stats", space.touch_range)
+    touch(region.base, region.size)  # warm: all pages resident
+    rounds = max(1, scale // pages)
+    for _ in range(rounds):
+        touch(region.base, region.size)
+    return rounds * pages
+
+
+def bench_touch_range_fault(scale: int) -> int:
+    """Cold touches with reclaim churn (working set 4x physical memory)."""
+    frames = 256
+    pages = 4 * frames
+    memory = Memory(frames * PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(pages * PAGE_SIZE)
+    touch = getattr(space, "touch_range_stats", space.touch_range)
+    chunk = 32 * PAGE_SIZE
+    touches = 0
+    addr = region.base
+    while touches < scale:
+        touch(addr, chunk)
+        touches += 32
+        addr += chunk
+        if addr + chunk > region.end:
+            addr = region.base
+    return touches
+
+
+def bench_iommu_translate(scale: int) -> int:
+    """Bulk translation through a warm IOTLB."""
+    iommu = Iommu(iotlb_capacity=256)
+    dom = iommu.create_domain()
+    pages = 128
+    for i in range(pages):
+        iommu.map(dom.domain_id, i, i + 1000)
+    translate_range = iommu.translate_range
+    try:  # aggregate fast path (older checkouts only have per-page lists)
+        translate_range(dom.domain_id, 0, pages, detail=False)
+        kwargs = {"detail": False}
+    except TypeError:
+        kwargs = {}
+    rounds = max(1, scale // pages)
+    for _ in range(rounds):
+        translate_range(dom.domain_id, 0, pages, **kwargs)
+    return rounds * pages
+
+
+def bench_npf_service(scale: int) -> int:
+    """Full NPF service flows (fault -> OS -> PT update -> resume)."""
+    flows = max(1, scale // 100)
+    env = Environment()
+    memory = Memory(1024 * PAGE_SIZE)
+    driver = NpfDriver(env, Iommu())
+    space = memory.create_space()
+    region = space.mmap(512 * PAGE_SIZE)
+    mr = driver.register_odp(space, region)
+    base = region.vpns()[0]
+
+    def faults():
+        for i in range(flows):
+            vpn = base + (i % 512)
+            yield env.process(driver.service_fault(mr, vpn, 1, NpfSide.SEND))
+            driver.invalidate(mr, vpn)
+
+    env.run(env.process(faults()))
+    return flows
+
+
+def bench_e2e_fig3(scale: int) -> int:
+    """One end-to-end experiment (Figure 3 breakdown, real driver flows)."""
+    from repro.experiments import fig3_breakdown
+
+    samples = max(10, scale // 2000)
+    fig3_breakdown.run(samples=samples)
+    return samples
+
+
+BENCHMARKS = {
+    "des_dispatch": (bench_des_dispatch, 200_000, "events"),
+    "des_processes": (bench_des_processes, 100_000, "steps"),
+    "touch_range_hit": (bench_touch_range_hit, 200_000, "pages"),
+    "touch_range_fault": (bench_touch_range_fault, 50_000, "pages"),
+    "iommu_translate": (bench_iommu_translate, 200_000, "pages"),
+    "npf_service": (bench_npf_service, 200_000, "faults"),
+    "e2e_fig3": (bench_e2e_fig3, 200_000, "samples"),
+}
+
+#: the two acceptance-gate benchmarks for substrate perf PRs: the DES
+#: event-dispatch loop and the touch_range fault path.  The gate figure
+#: is their *combined* wall clock (seed sum / optimized sum).
+GATE = ("des_dispatch", "touch_range_fault")
+
+
+def run_suite(repeat: int, scale_div: int = 1) -> dict:
+    results = {}
+    for name, (fn, scale, unit) in BENCHMARKS.items():
+        scale = max(1, scale // scale_div)
+        best = float("inf")
+        ops = 0
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            ops = fn(scale)
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed)
+        results[name] = {
+            "wall_s": round(best, 6),
+            "ops": ops,
+            "unit": unit,
+            "ops_per_s": round(ops / best, 1) if best > 0 else None,
+        }
+        print(f"  {name:<20} {best * 1e3:9.2f} ms   "
+              f"{results[name]['ops_per_s']:>14,.0f} {unit}/s")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=str(REPO_ROOT / "BENCH_substrate.json"),
+                        help="output file to merge results into")
+    parser.add_argument("--label", default="current",
+                        help="key for this run (e.g. seed / optimized)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per benchmark; best time wins")
+    parser.add_argument("--quick", action="store_true",
+                        help="1/10th scale (CI smoke)")
+    args = parser.parse_args(argv)
+    if args.quick and args.json == parser.get_default("json"):
+        # Keep 1/10-scale smoke numbers out of the full-scale record —
+        # merging them would "compare" against a full-scale seed.
+        args.json = str(REPO_ROOT / "BENCH_substrate_quick.json")
+
+    print(f"substrate benchmarks ({args.label}, best of {args.repeat}):")
+    results = run_suite(args.repeat, scale_div=10 if args.quick else 1)
+
+    path = Path(args.json)
+    payload = {}
+    if path.exists():
+        payload = json.loads(path.read_text())
+    payload.setdefault("meta", {})[args.label] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": args.quick,
+    }
+    payload.setdefault("benchmarks", {})[args.label] = results
+
+    seed = payload["benchmarks"].get("seed")
+    if seed and payload["meta"].get("seed", {}).get("quick") != args.quick:
+        print("note: seed entry was recorded at a different scale; "
+              "skipping speedup_vs_seed")
+        seed = None
+    if seed and args.label != "seed":
+        speedups = {}
+        for name, res in results.items():
+            base = seed.get(name)
+            if base and base["wall_s"] and res["wall_s"]:
+                speedups[name] = round(base["wall_s"] / res["wall_s"], 2)
+        gate_seed = sum(seed[n]["wall_s"] for n in GATE if n in seed)
+        gate_opt = sum(results[n]["wall_s"] for n in GATE if n in results)
+        payload["speedup_vs_seed"] = {
+            "label": args.label,
+            "per_benchmark": speedups,
+            "gate": {name: speedups.get(name) for name in GATE},
+            "gate_combined": round(gate_seed / gate_opt, 2) if gate_opt else None,
+        }
+        print("speedup vs seed:")
+        for name, s in speedups.items():
+            marker = "  <-- gate" if name in GATE else ""
+            print(f"  {name:<20} {s:5.2f}x{marker}")
+        if gate_opt:
+            print(f"  {'gate combined':<20} {gate_seed / gate_opt:5.2f}x"
+                  f"  ({' + '.join(GATE)})")
+
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
