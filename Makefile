@@ -1,10 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick profile experiments
+.PHONY: test lint sanitize bench bench-quick profile experiments
 
-test:
+test: lint
 	$(PYTHON) -m pytest -x -q
+
+## Determinism / DMA-invariant static analysis (tools/lint).
+lint:
+	$(PYTHON) -m tools.lint src/
+
+## Full test run with the DMAsan runtime sanitizer hooked into every test.
+sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
 
 ## Substrate micro-benchmarks -> BENCH_substrate.json (merges by label;
 ## a stored "seed" entry yields a speedup_vs_seed section).

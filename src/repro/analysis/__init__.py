@@ -1,0 +1,32 @@
+"""Runtime invariant sanitizers for the simulated DMA substrate.
+
+"DMAsan" is the simulated analogue of ASan/TSan for the paper's
+unpinned-DMA design: an opt-in set of shadow-state checkers that watch
+every IOMMU map/unmap, page residency transition, pin/unpin, backup-ring
+merge and RNR retry during a simulation and report any violation of the
+cross-layer contracts the experiments silently depend on (see
+DESIGN.md, "Enforced invariants").
+
+Nothing here is imported on the hot path: production code only touches
+:mod:`repro.analysis.hooks`, a module with a single ``active`` global
+that is ``None`` unless a sanitizer is installed, so the disabled cost
+is one global load per hook site.
+
+Enable in tests with ``REPRO_SANITIZE=1`` (see ``tests/conftest.py``)
+or programmatically::
+
+    from repro.analysis import DmaSanitizer, hooks
+
+    san = DmaSanitizer()
+    with hooks.session(san):
+        run_experiment()
+    san.final_check()
+    assert not san.violations
+"""
+
+from __future__ import annotations
+
+from . import hooks
+from .sanitizer import DmaSanitizer, SanitizerError, Violation
+
+__all__ = ["DmaSanitizer", "SanitizerError", "Violation", "hooks"]

@@ -1,0 +1,59 @@
+"""The sanitizer hook point production code checks.
+
+This module is deliberately tiny and import-free: subsystems that carry
+sanitizer hooks (``iommu``, ``mem``, ``nic``, ``transport``) import it
+and guard each hook site with::
+
+    if _hooks.active is not None:
+        _hooks.active.on_something(...)
+
+so the cost with no sanitizer installed is one module-global load and a
+``None`` comparison — nothing is allocated, nothing else is imported.
+Hot loops hoist ``_hooks.active`` into a local once per batch.
+
+``active`` holds at most one observer (a
+:class:`repro.analysis.sanitizer.DmaSanitizer` or anything implementing
+the same ``on_*`` surface).  :func:`session` is the recommended way to
+install one: it restores whatever was active before, so sanitizer tests
+can nest their own observer under a CI-wide ``REPRO_SANITIZE=1``
+session without the two seeing each other's events.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = ["active", "install", "uninstall", "session"]
+
+#: The installed observer, or None.  Read directly by hook sites.
+active: Optional[Any] = None
+
+
+def install(observer: Any) -> None:
+    """Make ``observer`` the active hook target (replacing any other)."""
+    global active
+    active = observer
+
+
+def uninstall() -> None:
+    """Remove the active observer (hooks become no-ops again)."""
+    global active
+    active = None
+
+
+@contextmanager
+def session(observer: Any) -> Iterator[Any]:
+    """Install ``observer`` for the duration of a ``with`` block.
+
+    The previously active observer (if any) is restored on exit, so
+    sessions nest: events inside the block go only to the innermost
+    observer.
+    """
+    global active
+    previous = active
+    active = observer
+    try:
+        yield observer
+    finally:
+        active = previous

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+from ..analysis import hooks as _hooks
 from ..iommu.iommu import Iommu
 from ..iommu.page_table import IoPageTable
 from ..mem.memory import AddressSpace, Region
@@ -37,6 +38,8 @@ class MemoryRegion:
         self.domain = domain
         self._registered = True
         self._vpn_range = region.vpns()  # contiguous; cached for covers()
+        if _hooks.active is not None:
+            _hooks.active.on_mr_registered(self)
 
     @property
     def is_registered(self) -> bool:

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable, Dict, List
+
+from ..sim.walltime import walltime
 
 from . import (
     ablations,
@@ -139,9 +140,9 @@ def main(argv: List[str] | None = None) -> int:
         print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
     for name in names:
-        start = time.time()
+        start = walltime()
         print_result(REGISTRY[name]())
-        print(f"   ({name} took {time.time() - start:.1f}s)\n")
+        print(f"   ({name} took {walltime() - start:.1f}s)\n")
     return 0
 
 

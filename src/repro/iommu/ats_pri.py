@@ -16,7 +16,7 @@ from typing import Callable, List
 __all__ = ["PageRequest", "PriQueue"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageRequest:
     """One ATS/PRI page request: exactly one page, by the spec."""
 
@@ -32,6 +32,8 @@ class PriQueue:
     time (each costing a full fault round-trip), then responds.  The
     per-request latency is supplied by the servicing driver.
     """
+
+    __slots__ = ("capacity", "_pending", "enqueued", "overflows", "__weakref__")
 
     def __init__(self, capacity: int = 32):
         if capacity < 1:

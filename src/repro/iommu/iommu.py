@@ -17,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..analysis import hooks as _hooks
 from .iotlb import Iotlb
 from .page_table import IoPageTable
 
 __all__ = ["Iommu", "Translation", "RangeTranslation"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Translation:
     """Result of translating one I/O page."""
 
@@ -67,6 +68,8 @@ class RangeTranslation:
 class Iommu:
     """A (possibly on-NIC) IOMMU with multiple protection domains."""
 
+    __slots__ = ("_domains", "_next_domain", "iotlb", "faults", "__weakref__")
+
     def __init__(self, iotlb_capacity: int = 256):
         self._domains: Dict[int, IoPageTable] = {}
         self._next_domain = 1
@@ -92,6 +95,8 @@ class Iommu:
         """Translate one I/O page; a non-present PTE is a (N)PF."""
         cached = self.iotlb.lookup(domain_id, iopn)
         if cached is not None:
+            if _hooks.active is not None:
+                _hooks.active.on_translate(self, domain_id, iopn, cached)
             return Translation(domain_id, iopn, cached, fault=False, iotlb_hit=True)
         table = self._domains.get(domain_id)
         if table is None:
@@ -101,6 +106,8 @@ class Iommu:
             self.faults += 1
             return Translation(domain_id, iopn, None, fault=True, iotlb_hit=False)
         self.iotlb.fill(domain_id, iopn, frame)
+        if _hooks.active is not None:
+            _hooks.active.on_translate(self, domain_id, iopn, frame)
         return Translation(domain_id, iopn, frame, fault=False, iotlb_hit=False)
 
     def translate_range(self, domain_id: int, iopn: int, n_pages: int,
@@ -124,6 +131,7 @@ class Iommu:
         move_to_end = cache.move_to_end
         capacity = iotlb.capacity
         entries = table._entries
+        san = _hooks.active
         result = RangeTranslation(domain_id, iopn, n_pages)
         hits = 0
         misses = 0
@@ -135,6 +143,8 @@ class Iommu:
                 move_to_end(key)
                 hits += 1
                 mapped += 1
+                if san is not None:
+                    san.on_translate(self, domain_id, p, frame)
                 continue
             misses += 1
             frame = entries.get(p)
@@ -146,6 +156,8 @@ class Iommu:
             while len(cache) > capacity:
                 cache.popitem(last=False)
             mapped += 1
+            if san is not None:
+                san.on_translate(self, domain_id, p, frame)
         iotlb.hits += hits
         iotlb.misses += misses
         result.iotlb_hits = hits
@@ -168,6 +180,8 @@ class Iommu:
         was_mapped = self._domains[domain_id].unmap(iopn)
         if was_mapped:
             self.iotlb.invalidate(domain_id, iopn)
+        if _hooks.active is not None:
+            _hooks.active.on_iommu_unmap(self, domain_id, iopn, 1)
         return was_mapped
 
     def unmap_range(self, domain_id: int, iopn: int, n_pages: int) -> int:
@@ -180,4 +194,6 @@ class Iommu:
         removed = self._domains[domain_id].unmap_range(iopn, n_pages)
         if removed:
             self.iotlb.invalidate_range(domain_id, iopn, n_pages)
+        if _hooks.active is not None:
+            _hooks.active.on_iommu_unmap(self, domain_id, iopn, n_pages)
         return removed

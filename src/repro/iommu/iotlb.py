@@ -18,6 +18,9 @@ __all__ = ["Iotlb"]
 class Iotlb:
     """LRU translation cache with hit/miss accounting."""
 
+    __slots__ = ("capacity", "_cache", "hits", "misses", "invalidations",
+                 "__weakref__")
+
     def __init__(self, capacity: int = 256):
         if capacity < 1:
             raise ValueError("IOTLB capacity must be >= 1")

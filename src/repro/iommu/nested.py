@@ -34,7 +34,7 @@ class FaultLevel(enum.Enum):
     HOST = "host"     # NPF: the IOprovider must fault the page in
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NestedTranslation:
     """Outcome of one 2D walk."""
 
@@ -51,6 +51,9 @@ class NestedTranslation:
 
 class NestedIommu:
     """One IOuser's 2D translation context: guest ∘ host tables."""
+
+    __slots__ = ("guest", "host", "iotlb", "guest_faults", "host_faults",
+                 "__weakref__")
 
     def __init__(self, iotlb_capacity: int = 256):
         self.guest = IoPageTable(domain_id=1)

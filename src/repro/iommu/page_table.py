@@ -12,11 +12,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..analysis import hooks as _hooks
+
 __all__ = ["IoPageTable"]
 
 
 class IoPageTable:
     """Sparse IOVA-page -> physical-frame mapping for one domain."""
+
+    __slots__ = ("domain_id", "_entries", "maps", "unmaps", "__weakref__")
 
     def __init__(self, domain_id: int):
         self.domain_id = domain_id
@@ -30,6 +34,8 @@ class IoPageTable:
             raise ValueError(f"invalid frame {frame!r}")
         self._entries[iopn] = frame
         self.maps += 1
+        if _hooks.active is not None:
+            _hooks.active.on_pt_map(self, iopn, frame)
 
     def map_batch(self, entries: Dict[int, int]) -> None:
         """Install many translations at once (the paper's batched update)."""
@@ -41,17 +47,22 @@ class IoPageTable:
         if iopn in self._entries:
             del self._entries[iopn]
             self.unmaps += 1
+            if _hooks.active is not None:
+                _hooks.active.on_pt_unmap(self, iopn)
             return True
         return False
 
     def unmap_range(self, iopn: int, n_pages: int) -> int:
         """Remove every translation in ``[iopn, iopn+n_pages)``; returns count."""
         entries = self._entries
+        san = _hooks.active
         removed = 0
         for p in range(iopn, iopn + n_pages):
             if p in entries:
                 del entries[p]
                 removed += 1
+                if san is not None:
+                    san.on_pt_unmap(self, p)
         self.unmaps += removed
         return removed
 

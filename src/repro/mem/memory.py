@@ -29,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..analysis import hooks as _hooks
 from ..sim.units import PAGE_SHIFT, PAGE_SIZE, us
 from .frames import FrameAllocator, OutOfMemoryError
 from .swap import SwapDevice
@@ -53,7 +54,7 @@ class FaultKind(enum.Enum):
     MAJOR = "major"      # read back from swap
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemCosts:
     """CPU-side fault handling costs (seconds).
 
@@ -73,7 +74,7 @@ class MemCosts:
         raise ValueError("major fault cost comes from the swap device")
 
 
-@dataclass
+@dataclass(slots=True)
 class PageFault:
     """Outcome of making one page present."""
 
@@ -129,7 +130,7 @@ class RangeFaults:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Region:
     """A contiguous virtual allocation within one address space."""
 
@@ -168,6 +169,10 @@ class AddressSpace:
     """
 
     _VA_ALIGN = 1 << 21  # regions start 2 MiB-aligned, cosmetic only
+
+    __slots__ = ("memory", "asid", "name", "_frames", "_pinned", "_dirty",
+                 "_discardable", "_cow", "_notifiers", "_regions",
+                 "_next_base", "_closed", "__weakref__")
 
     def __init__(self, memory: "Memory", asid: int, name: str):
         self.memory = memory
@@ -310,6 +315,8 @@ class AddressSpace:
         fault = self.touch_page(vpn)
         self._pinned[vpn] = self._pinned.get(vpn, 0) + 1
         self.memory._lru_remove(self.asid, vpn)
+        if _hooks.active is not None:
+            _hooks.active.on_pin(self, vpn)
         return fault
 
     def unpin_page(self, vpn: int) -> None:
@@ -322,6 +329,8 @@ class AddressSpace:
                 self.memory._lru_insert(self.asid, vpn)
         else:
             self._pinned[vpn] = count - 1
+        if _hooks.active is not None:
+            _hooks.active.on_unpin(self, vpn)
 
     def pin_range(self, addr: int, size: int, detail: bool = False):
         """Pin every page of ``[addr, addr+size)``; returns the populate faults.
@@ -373,6 +382,9 @@ class AddressSpace:
         """Release everything (process/VM exit)."""
         if self._closed:
             return
+        if _hooks.active is not None:
+            # Pins die with the space (process exit releases everything).
+            _hooks.active.on_space_close(self)
         for region in list(self._regions):
             for vpn in list(region.vpns()):
                 self._pinned.pop(vpn, None)
@@ -389,6 +401,8 @@ class AddressSpace:
         self._cow.discard(vpn)
         self.memory._lru_remove(self.asid, vpn)
         self.memory._release_frame(frame)
+        if _hooks.active is not None:
+            _hooks.active.on_page_dropped(self, vpn, frame, evicted=False)
         if notify:
             self._notify_invalidate(vpn)
 
@@ -401,6 +415,11 @@ class AddressSpace:
 
 class Memory:
     """Host physical memory: frame pool + global LRU reclaim + swap."""
+
+    __slots__ = ("allocator", "page_size", "swap", "costs", "_spaces",
+                 "_next_asid", "_lru", "_frame_refs", "minor_faults",
+                 "major_faults", "evictions", "cow_breaks", "deduped_pages",
+                 "__weakref__")
 
     def __init__(
         self,
@@ -490,6 +509,8 @@ class Memory:
 
         space._frames[vpn] = frame
         self._lru_insert(space.asid, vpn)
+        if _hooks.active is not None:
+            _hooks.active.on_page_resident(space, vpn, frame)
         if self.swap.holds(space.asid, vpn):
             latency = self.swap.load(space.asid, vpn) + self.costs.minor_fault
             self.major_faults += 1
@@ -539,6 +560,7 @@ class Memory:
         evictions_out = result.evictions
         hit_cost = self.costs.hit
         minor_cost = self.costs.minor_fault
+        san = _hooks.active
         pages = 0
         hits = 0
         minors = 0
@@ -593,6 +615,8 @@ class Memory:
                         frame_refs.pop(vframe, None)
                         allocator._used -= 1
                         free_frames.append(vframe)
+                    if san is not None:
+                        san.on_page_dropped(vspace, vvpn, vframe, evicted=True)
                     if vvpn in vspace._discardable:
                         victim_latency = 0.0
                     else:
@@ -615,6 +639,8 @@ class Memory:
                     allocator._next_fresh = frame + 1
                 frames[vpn] = frame
                 lru[key] = None  # fresh key lands at the MRU end
+                if san is not None:
+                    san.on_page_resident(space, vpn, frame)
                 if key in swap_slots:
                     swap_slots.remove(key)
                     swap.reads += 1
@@ -641,6 +667,8 @@ class Memory:
             if pin:
                 pinned[vpn] = pinned.get(vpn, 0) + 1
                 lru.pop(key, None)
+                if san is not None:
+                    san.on_pin(space, vpn)
         result.pages += pages
         result.hits += hits
         result.minors += minors
@@ -660,6 +688,8 @@ class Memory:
         frame = space._frames.pop(vpn)
         space._cow.discard(vpn)
         self._release_frame(frame)
+        if _hooks.active is not None:
+            _hooks.active.on_page_dropped(space, vpn, frame, evicted=True)
         if vpn in space._discardable:
             # File-backed page: drop it, the backing store has the data.
             latency = 0.0
@@ -705,6 +735,8 @@ class Memory:
             self._lru_insert(child.asid, vpn)
             parent._cow.add(vpn)
             child._cow.add(vpn)
+            if _hooks.active is not None:
+                _hooks.active.on_page_resident(child, vpn, frame)
         return child
 
     def dedup(self, a: AddressSpace, vpn_a: int, b: AddressSpace,
@@ -729,6 +761,8 @@ class Memory:
         self._release_frame(victim)
         a._cow.add(vpn_a)
         b._cow.add(vpn_b)
+        if _hooks.active is not None:
+            _hooks.active.on_page_remapped(b, vpn_b, victim, keeper, "dedup")
         # The victim's old translation is gone: notify (NIC PTEs must go).
         b._notify_invalidate(vpn_b)
         self.deduped_pages += 1
@@ -753,6 +787,9 @@ class Memory:
         self._release_frame(shared_frame)
         space._cow.discard(vpn)
         space._dirty.add(vpn)
+        if _hooks.active is not None:
+            _hooks.active.on_page_remapped(space, vpn, shared_frame, frame,
+                                           "cow-break")
         self.cow_breaks += 1
         self.minor_faults += 1
         # The translation changed: anything caching it (IOTLB!) is stale.

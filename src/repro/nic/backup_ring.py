@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..analysis import hooks as _hooks
 from ..net.packet import Packet  # noqa: F401 - dataclass field type
 
 __all__ = ["BackupEntry", "BackupRing"]
@@ -49,20 +50,29 @@ class BackupRing:
         """NIC side: stash a faulting packet; False when full (drop)."""
         if not self.has_room():
             self.dropped += 1
+            if _hooks.active is not None:
+                _hooks.active.on_backup_store(self, entry, accepted=False)
             return False
         self._entries.append(entry)
         self.stored += 1
         self.high_watermark = max(self.high_watermark, len(self._entries))
+        if _hooks.active is not None:
+            _hooks.active.on_backup_store(self, entry, accepted=True)
         return True
 
     def drain(self) -> List[BackupEntry]:
         """IOprovider side: take everything (replenishes the ring)."""
         entries = self._entries
         self._entries = []
+        if _hooks.active is not None:
+            _hooks.active.on_backup_drain(self, entries)
         return entries
 
     def pop(self) -> Optional[BackupEntry]:
-        return self._entries.pop(0) if self._entries else None
+        entry = self._entries.pop(0) if self._entries else None
+        if entry is not None and _hooks.active is not None:
+            _hooks.active.on_backup_pop(self, entry)
+        return entry
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -31,6 +31,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..analysis import hooks as _hooks
 from ..core.costs import NpfCosts
 from ..core.driver import NpfDriver
 from ..core.npf import NpfSide
@@ -179,6 +180,8 @@ class QueuePair:
         if message is None:
             return  # stale NACK for a completed PSN
         message.retry += 1
+        if _hooks.active is not None:
+            _hooks.active.on_rnr_retry(self, message)
         if message.retry > self.MAX_RNR_RETRIES:
             self._complete_send(message, WcStatus.RNR_RETRY_EXCEEDED)
             return

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..analysis import hooks as _hooks
 from ..net.packet import Packet
 
 __all__ = ["RxDescriptor", "RxRing", "RingStats"]
@@ -111,9 +112,13 @@ class RxRing:
         if self.head_offset:
             self.head_offset += 1
             self.stats.stored_while_faulting += 1
+            if _hooks.active is not None:
+                _hooks.active.on_ring_store(self, notified=False)
             return False
         self.head += 1
         self.stats.stored_direct += 1
+        if _hooks.active is not None:
+            _hooks.active.on_ring_store(self, notified=True)
         return True
 
     def can_fault_to_backup(self) -> bool:
@@ -128,6 +133,8 @@ class RxRing:
         self.bitmap[bit_index % self.bm_size] = 1
         self.head_offset += 1
         self.stats.faulted_to_backup += 1
+        if _hooks.active is not None:
+            _hooks.active.on_ring_fault(self, bit_index)
         return bit_index
 
     def resolve_fault(self, bit_index: int) -> int:
@@ -144,6 +151,8 @@ class RxRing:
             self.bm_index += 1
             advanced += 1
         self.stats.resolved += 1
+        if _hooks.active is not None:
+            _hooks.active.on_ring_resolve(self, bit_index, advanced)
         return advanced
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -71,6 +71,11 @@ _TRIGGERED = 1  # scheduled on the heap, not yet processed
 _PROCESSED = 2  # callbacks have run
 
 
+# Repr sequence for events with no ``env`` reference (fast-path
+# timeouts); see ``Event._stable_seq``.
+_orphan_repr_seq = 0
+
+
 def _NO_WAITERS(event):
     """Shared sentinel for ``callbacks`` = "triggered, nobody waiting yet".
 
@@ -96,7 +101,10 @@ class Event:
     for same-time triggers).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+    # ``_seq`` is assigned lazily on first repr (see ``_stable_seq``) so
+    # the hot construction paths never touch it.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused",
+                 "_seq")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -163,9 +171,34 @@ class Event:
     def _mark_processed(self) -> None:
         self._state = _PROCESSED
 
+    def _stable_seq(self) -> int:
+        """A reproducible identity for reprs/logs.
+
+        ``id(self)`` changes run to run (allocator addresses), so
+        anything that logs an event repr would diverge between identical
+        runs.  Instead each event is numbered, on first repr, from its
+        environment's own counter — stable across runs because repr
+        order is itself deterministic.  Timeouts born on the inlined
+        fast path carry no ``env`` reference; they fall back to a
+        module-level counter (equally deterministic per run).
+        """
+        try:
+            return self._seq
+        except AttributeError:
+            env = getattr(self, "env", None)
+            if env is not None:
+                env._repr_seq += 1
+                seq = env._repr_seq
+            else:
+                global _orphan_repr_seq
+                _orphan_repr_seq += 1
+                seq = _orphan_repr_seq
+            self._seq = seq
+            return seq
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
-        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+        return f"<{type(self).__name__} {state[self._state]} #{self._stable_seq()}>"
 
 
 class Timeout(Event):
@@ -431,13 +464,14 @@ def all_of(env: "Environment", events: Iterable[Event]) -> Event:
 class Environment:
     """The simulation clock and event heap."""
 
-    __slots__ = ("_now", "_heap", "_counter", "_active_process")
+    __slots__ = ("_now", "_heap", "_counter", "_active_process", "_repr_seq")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
         self._counter = 0
         self._active_process: Optional[Process] = None
+        self._repr_seq = 0  # see Event._stable_seq
 
     @property
     def now(self) -> float:

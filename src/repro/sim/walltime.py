@@ -1,0 +1,31 @@
+"""The one sanctioned wall-clock in the repository.
+
+Simulation code must never read the host clock: simulated behaviour is a
+pure function of the seed, and a stray ``time.time()`` in a sim path is
+exactly the kind of nondeterminism the determinism tests cannot catch
+(it perturbs nothing observable until someone logs it, sorts by it, or
+feeds it into a latency model).  The repro-lint rule RL001 therefore
+bans the ``time``/``datetime`` wall-clock surface everywhere under
+``src/repro`` — except this module.
+
+Host-side tooling (the experiment runner's "took 3.2s" progress line,
+bench harnesses) still legitimately wants to measure *elapsed real
+time*.  That is what :func:`walltime` is for: a monotonic stopwatch
+reading with no calendar meaning, unusable as an event timestamp, which
+keeps it out of simulated state by construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["walltime"]
+
+
+def walltime() -> float:
+    """Monotonic elapsed-real-time reading (seconds, arbitrary epoch).
+
+    For progress reporting and benchmarking only.  Never feed this into
+    simulated state — use ``env.now`` inside the simulation.
+    """
+    return time.perf_counter()

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis import hooks as _hooks
 from ..core.regions import MemoryRegion
 from ..sim.engine import Environment, Event
 from ..sim.queues import Store
@@ -84,6 +85,8 @@ class CompletionQueue:
     def push(self, wc: Wc) -> None:
         wc.time = self.env.now
         self.completions += 1
+        if _hooks.active is not None:
+            _hooks.active.on_completion(self, wc)
         self._queue.put_nowait(wc)
 
     def poll(self) -> Optional[Wc]:

@@ -1,0 +1,34 @@
+"""Shared test wiring.
+
+Setting ``REPRO_SANITIZE=1`` in the environment runs the whole test
+session under the DMAsan shadow-state sanitizer
+(:mod:`repro.analysis.sanitizer`): every test gets a fresh
+:class:`DmaSanitizer` installed for its duration, and a test fails if
+the workload it simulated breached any cross-layer DMA invariant.
+
+Tests that *deliberately* provoke violations (the sanitizer's own
+tests) open an inner ``hooks.session`` of their own, so the session-wide
+observer never sees their events.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import hooks
+from repro.analysis.sanitizer import DmaSanitizer
+
+SANITIZE = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+@pytest.fixture(autouse=SANITIZE)
+def _dma_sanitizer(request):
+    """Session-wide DMAsan: one fresh sanitizer per test, fail on violations."""
+    san = DmaSanitizer()
+    with hooks.session(san):
+        yield san
+        san.final_check()
+    if san.violations:
+        pytest.fail(san.summary(), pytrace=False)

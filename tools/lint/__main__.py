@@ -1,0 +1,139 @@
+"""CLI for the repro-lint pass.
+
+Usage::
+
+    python -m tools.lint src/                 # lint, honouring the baseline
+    python -m tools.lint --fix src/           # apply mechanical fixes
+    python -m tools.lint --update-baseline src/
+    python -m tools.lint --list-rules
+
+Exit status is 0 when no unsuppressed findings remain, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+from . import (
+    Finding,
+    RULE_DOCS,
+    collect_files,
+    fingerprint,
+    format_baseline,
+    lint_file,
+    load_baseline,
+)
+from .rules import _walltime_import_fix
+
+DEFAULT_BASELINE = Path(__file__).with_name("baseline.txt")
+
+_FIXABLE = ("RL001", "RL004")
+
+
+def _offsets(lines: List[str]) -> List[int]:
+    """Absolute offset of the start of each (1-based) line."""
+    offsets = [0]
+    total = 0
+    for line in lines:
+        total += len(line) + 1  # splitlines strips the newline
+        offsets.append(total)
+    return offsets
+
+
+def _apply_fixes(path: Path, display: str, findings: List[Finding]) -> int:
+    """Apply mechanical fixes to one file; returns how many were applied."""
+    fixes = [f for f in findings if f.fix is not None and f.code in _FIXABLE]
+    if not fixes:
+        return 0
+    source = path.read_text()
+    lines = source.splitlines()
+    offsets = _offsets(lines)
+    edits: List[Tuple[int, int, str]] = []
+    needs_walltime_import = False
+    for f in fixes:
+        line, col, end_line, end_col, replacement = f.fix
+        start = offsets[line - 1] + col
+        end = offsets[end_line - 1] + end_col
+        if replacement is None:  # RL004: wrap the iterable in sorted()
+            replacement = f"sorted({source[start:end]})"
+        if f.code == "RL001":
+            needs_walltime_import = True
+        edits.append((start, end, replacement))
+    if needs_walltime_import and "walltime" not in source:
+        tree = ast.parse(source)
+        line, col, _, _, stmt = _walltime_import_fix(display, tree)
+        at = offsets[line - 1] if line - 1 < len(offsets) else len(source)
+        edits.append((at, at, stmt))
+    for start, end, replacement in sorted(edits, reverse=True):
+        source = source[:start] + replacement + source[end:]
+    path.write_text(source)
+    return len(fixes)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="Determinism / DMA-invariant lint for the repro substrate.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (RL001, RL004)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file (default: tools/lint/baseline.txt)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULE_DOCS):
+            print(f"{code}  {RULE_DOCS[code]}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.lint src/)")
+
+    files = collect_files(args.paths)
+    if not files:
+        print("no python files found", file=sys.stderr)
+        return 1
+
+    all_findings: List[Tuple[Finding, str]] = []  # (finding, fingerprint)
+    for f, display in files:
+        findings = lint_file(f, display)
+        if args.fix and _apply_fixes(f, display, findings):
+            findings = lint_file(f, display)  # re-lint the fixed source
+        lines = f.read_text().splitlines()
+        for finding in findings:
+            all_findings.append((finding, fingerprint(finding, lines)))
+
+    if args.update_baseline:
+        args.baseline.write_text(format_baseline(all_findings))
+        print(f"baseline: {len(all_findings)} entr"
+              f"{'y' if len(all_findings) == 1 else 'ies'} -> {args.baseline}")
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(args.baseline)
+    reported = [f for f, fp in all_findings if fp not in baseline]
+    for finding in reported:
+        print(finding.render())
+    suppressed = len(all_findings) - len(reported)
+    if reported:
+        print(f"\n{len(reported)} finding(s)"
+              + (f" ({suppressed} baselined)" if suppressed else ""))
+        return 1
+    if suppressed:
+        print(f"clean ({suppressed} baselined finding(s))")
+    else:
+        print("clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
