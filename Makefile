@@ -1,8 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize bench bench-quick profile experiments
+## Worker processes for the parallel experiment engine.
+JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
+.PHONY: test lint sanitize bench bench-quick bench-experiments profile \
+        experiments
+
+## Lint + full test suite.  tests/test_experiments_runner.py includes the
+## parallel-equals-sequential smoke check for the experiment engine.
 test: lint
 	$(PYTHON) -m pytest -x -q
 
@@ -22,9 +28,17 @@ bench:
 bench-quick:
 	$(PYTHON) tools/bench_substrate.py --label optimized --quick
 
+## The e2e_run_all gate: run all experiments sequentially, parallel-cold
+## and warm-cache, verify byte-identical output -> BENCH_experiments.json.
+bench-experiments:
+	$(PYTHON) tools/bench_substrate.py --experiments --jobs $(JOBS)
+
 ## cProfile over the micro-benchmarks; top-20 by cumulative time.
 profile:
 	$(PYTHON) -m repro.experiments profile
 
+## Regenerate every table/figure in parallel (make experiments JOBS=8).
+## Cell results are cached under .repro-cache/ keyed by config + source
+## hash; use --no-cache via the CLI to force a full recompute.
 experiments:
-	$(PYTHON) -m repro.experiments run all
+	$(PYTHON) -m repro.experiments run all --jobs $(JOBS)

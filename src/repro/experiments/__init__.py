@@ -14,7 +14,7 @@ from . import (
     table5_overcommit,
     table6_beff,
 )
-from .base import ExperimentResult, print_result
+from .base import ExperimentResult, print_result, results_to_json
 from .config import MEM_SCALE, TIME_SCALE, scale_bytes, scaled_tcp_params
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "table6_beff",
     "ExperimentResult",
     "print_result",
+    "results_to_json",
     "MEM_SCALE",
     "TIME_SCALE",
     "scale_bytes",

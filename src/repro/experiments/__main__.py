@@ -4,12 +4,18 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run fig3 table4 ...
-    python -m repro.experiments run all
-    python -m repro.experiments profile [names...]
+    python -m repro.experiments run all --jobs 8
+    python -m repro.experiments run all --json results.json
+    python -m repro.experiments profile [names...] [--jobs N]
 
-Each experiment prints the paper-style table it reproduces; ``profile``
-runs the substrate micro-benchmarks (or named experiments) under
-cProfile and prints the top functions by cumulative time.
+Each experiment prints the paper-style table it reproduces.  ``run``
+fans the experiments' sweep cells across a process pool (``--jobs``,
+default: all cores) and caches cell results under ``.repro-cache/``
+keyed by config + source hash (``--no-cache`` forces recompute); the
+tables land on stdout — byte-identical whatever ``--jobs`` is — while
+timing and cache accounting go to stderr.  ``profile`` runs the
+substrate micro-benchmarks (or named experiments) under cProfile and
+prints the top functions by cumulative time.
 """
 
 from __future__ import annotations
@@ -18,53 +24,38 @@ import argparse
 import sys
 from typing import Callable, Dict, List
 
-from ..sim.walltime import walltime
+from .base import print_result, results_to_json
+from .runner import SPECS, default_jobs, run_many
 
-from . import (
-    ablations,
-    fig3_breakdown,
-    fig4_cold_ring,
-    fig7_dynamic,
-    fig8_storage,
-    fig9_imb,
-    fig10_whatif,
-    sec63_loc,
-    table3_tradeoffs,
-    table4_tail,
-    table5_overcommit,
-    table6_beff,
-)
-from .base import print_result
-
+#: Back-compat map of experiment name -> sequential ``run`` facade.
 REGISTRY: Dict[str, Callable] = {
-    "fig3": fig3_breakdown.run,
-    "table4": table4_tail.run,
-    "fig4a": fig4_cold_ring.run_startup,
-    "fig4b": fig4_cold_ring.run_ring_sweep,
-    "table5": table5_overcommit.run,
-    "fig7": fig7_dynamic.run,
-    "fig8a": fig8_storage.run_bandwidth,
-    "fig8b": fig8_storage.run_resident_memory,
-    "fig9": fig9_imb.run,
-    "table6": table6_beff.run,
-    "fig10-eth": fig10_whatif.run_ethernet,
-    "fig10-ib": fig10_whatif.run_infiniband,
-    "table3": table3_tradeoffs.run,
-    "sec63": sec63_loc.run,
-    "ablation-batching": ablations.run_batching,
-    "ablation-bypass": ablations.run_firmware_bypass,
-    "ablation-classes": ablations.run_concurrent_classes,
-    "ablation-bm-size": ablations.run_bm_size_sweep,
-    "ablation-pdc": ablations.run_pdc_capacity_sweep,
-    "ablation-read-rnr": ablations.run_read_rnr_extension,
+    name: spec.run for name, spec in SPECS.items()
 }
 
 
-def _profile(names: List[str], top: int) -> int:
+def _import_bench_substrate():
+    """Import ``tools.bench_substrate`` as the package it is.
+
+    Works as-is from a repo-root checkout (the repo root is on
+    ``sys.path`` for ``python -m`` runs started there); otherwise the
+    repo root is appended explicitly.
+    """
+    try:
+        from tools import bench_substrate
+    except ImportError:
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[3]
+        if str(repo_root) not in sys.path:
+            sys.path.append(str(repo_root))
+        from tools import bench_substrate
+    return bench_substrate
+
+
+def _profile(names: List[str], top: int, jobs: int | None) -> int:
     """Run the substrate micro-benchmarks (or experiments) under cProfile."""
     import cProfile
     import pstats
-    from pathlib import Path
 
     if names:
         unknown = [n for n in names if n not in REGISTRY]
@@ -73,19 +64,15 @@ def _profile(names: List[str], top: int) -> int:
             return 2
 
         def workload():
-            for name in names:
-                REGISTRY[name]()
+            run_many(names, jobs=jobs, cache=False)
 
         label = ", ".join(names)
+        if jobs and jobs != 1:
+            label += f" (jobs={jobs})"
     else:
         # Default: the substrate micro-benchmark suite at reduced scale —
         # the hot paths every experiment sits on.
-        tools_dir = Path(__file__).resolve().parents[3] / "tools"
-        sys.path.insert(0, str(tools_dir))
-        try:
-            import bench_substrate
-        finally:
-            sys.path.remove(str(tools_dir))
+        bench_substrate = _import_bench_substrate()
 
         def workload():
             for name, (fn, scale, _unit) in bench_substrate.BENCHMARKS.items():
@@ -113,6 +100,14 @@ def main(argv: List[str] | None = None) -> int:
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument("names", nargs="+",
                             help="experiment names, or 'all'")
+    run_parser.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for the cell sweep "
+                                 "(default: all cores; 1 = in-process)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="recompute every cell, ignoring and not "
+                                 "writing .repro-cache/")
+    run_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="also dump the results as JSON to PATH")
     profile_parser = sub.add_parser(
         "profile",
         help="profile the substrate micro-benchmarks (or experiments) "
@@ -123,6 +118,9 @@ def main(argv: List[str] | None = None) -> int:
                                      "micro-benchmarks)")
     profile_parser.add_argument("--top", type=int, default=20,
                                 help="how many functions to print (default 20)")
+    profile_parser.add_argument("--jobs", type=int, default=None,
+                                help="worker processes when profiling "
+                                     "experiments (default: all cores)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -131,7 +129,7 @@ def main(argv: List[str] | None = None) -> int:
         return 0
 
     if args.command == "profile":
-        return _profile(args.names, args.top)
+        return _profile(args.names, args.top, args.jobs)
 
     names = list(REGISTRY) if args.names == ["all"] else args.names
     unknown = [n for n in names if n not in REGISTRY]
@@ -139,10 +137,20 @@ def main(argv: List[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
-    for name in names:
-        start = walltime()
-        print_result(REGISTRY[name]())
-        print(f"   ({name} took {walltime() - start:.1f}s)\n")
+
+    report = run_many(names, jobs=args.jobs, cache=not args.no_cache)
+    for result in report.results.values():
+        print_result(result)
+        print()
+    stats = report.stats
+    print(f"{len(report.results)} experiment(s), {stats.total} cells "
+          f"({stats.hits} cached, {stats.misses} computed) "
+          f"in {report.wall_s:.1f}s with jobs={report.jobs or default_jobs()}",
+          file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(results_to_json(report.results.values()))
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 

@@ -10,10 +10,12 @@ EXPERIMENTS.md evidence.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
-__all__ = ["ExperimentResult", "print_result"]
+__all__ = ["ExperimentResult", "print_result", "result_to_dict",
+           "results_to_json"]
 
 
 @dataclass
@@ -42,6 +44,29 @@ def _format(value: Any) -> str:
             return f"{value:.3g}"
         return f"{value:.2f}"
     return str(value)
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A plain-dict view of one result, for JSON export."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "scaling": result.scaling,
+        "columns": list(result.columns),
+        "rows": [dict(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def results_to_json(results: Iterable[ExperimentResult]) -> str:
+    """Serialize results to JSON with a stable key order.
+
+    ``sort_keys`` makes the document byte-stable for diffing; non-finite
+    floats (fig4b's untriggered-timeout markers are ``inf``) use
+    Python's ``Infinity`` literal extension.
+    """
+    return json.dumps([result_to_dict(r) for r in results],
+                      indent=2, sort_keys=True)
 
 
 def print_result(result: ExperimentResult) -> str:

@@ -8,11 +8,15 @@
     tolerable, bounded warm-up cost.
 
 Time is compressed by ``TIME_SCALE`` (see :mod:`repro.experiments.config`).
+
+Each (mode) point of (a) and each (ring size, mode) point of (b) is an
+independent cell; cells carry the mode by value (its enum name) so they
+stay pure and picklable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..apps.framing import MessageFramer
 from ..apps.kvstore import KvServer
@@ -23,9 +27,14 @@ from ..sim.engine import Environment
 from ..sim.rng import Rng
 from ..sim.units import KB, MB
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 from .config import TIME_SCALE, scaled_tcp_params
 
-__all__ = ["run_startup", "run_ring_sweep", "MODES"]
+__all__ = [
+    "run_startup", "run_ring_sweep", "MODES",
+    "startup_cells", "merge_startup", "cell_startup",
+    "ring_sweep_cells", "merge_ring_sweep", "cell_ring_point",
+]
 
 MODES = {"drop": RxMode.DROP, "backup": RxMode.BACKUP, "pin": RxMode.PIN}
 
@@ -51,33 +60,48 @@ def _build(mode: RxMode, ring_size: int, seed: int,
     return env, kv, gen
 
 
-def run_startup(duration: float = 3.0, seed: int = 11) -> ExperimentResult:
-    """Figure 4(a): throughput vs time during startup (64-entry ring).
+def cell_startup(mode: str, duration: float, seed: int) -> dict:
+    """One startup run (64-entry ring): throughput series for one mode."""
+    env, kv, gen = _build(RxMode[mode.upper()], ring_size=64, seed=seed)
+    gen.start()
+    env.run(until=duration)
+    gen.stop()
+    points = gen.tps.series.points()
+    return {
+        "mode": mode,
+        "times": [t for t, _ in points],
+        "values": [v for _, v in points],
+    }
 
-    ``duration`` is in scaled seconds (multiply by TIME_SCALE for the
-    paper's axis).
-    """
+
+def startup_cells(duration: float = 3.0, seed: int = 11) -> List[Cell]:
+    return [
+        cell("fig4a", i, cell_startup, mode=mode, duration=duration,
+             seed=seed)
+        for i, mode in enumerate(MODES)
+    ]
+
+
+def merge_startup(sweep: Sequence[Cell],
+                  fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="figure-4a",
         title="Startup throughput over time, 64-entry receive ring",
-        columns=["time_s"] + list(MODES),
+        columns=["time_s"] + [f["mode"] for f in fragments],
         scaling=f"TCP timers and time axis compressed {TIME_SCALE}x",
     )
-    series: Dict[str, List[float]] = {}
-    times: List[float] = []
-    for name, mode in MODES.items():
-        env, kv, gen = _build(mode, ring_size=64, seed=seed)
-        gen.start()
-        env.run(until=duration)
-        gen.stop()
-        points = gen.tps.series.points()
-        series[name] = [v for _, v in points]
-        times = [t for t, _ in points]
+    series: Dict[str, List[float]] = {f["mode"]: f["values"]
+                                      for f in fragments}
+    # The time axis is shared across modes (same report interval and
+    # duration); take the longest series' axis so it never silently
+    # depends on whichever mode happens to come last in the sweep.
+    times: List[float] = max((f["times"] for f in fragments),
+                             key=len, default=[])
     for i, t in enumerate(times):
         result.add_row(
             time_s=t,
-            **{name: series[name][i] if i < len(series[name]) else 0.0
-               for name in MODES},
+            **{name: values[i] if i < len(values) else 0.0
+               for name, values in series.items()},
         )
     result.notes.append(
         "paper: pinning reaches steady state immediately; dropping stays "
@@ -86,34 +110,74 @@ def run_startup(duration: float = 3.0, seed: int = 11) -> ExperimentResult:
     return result
 
 
-def run_ring_sweep(ring_sizes=(16, 64, 256, 1024),
-                   ops: int = 1500, seed: int = 13) -> ExperimentResult:
-    """Figure 4(b): time for ``ops`` operations vs receive-ring size."""
+def run_startup(duration: float = 3.0, seed: int = 11) -> ExperimentResult:
+    """Figure 4(a): throughput vs time during startup (64-entry ring).
+
+    ``duration`` is in scaled seconds (multiply by TIME_SCALE for the
+    paper's axis).
+    """
+    return run_cells(startup_cells(duration=duration, seed=seed),
+                     merge_startup)
+
+
+def cell_ring_point(mode: str, ring_size: int, ops: int, seed: int,
+                    max_total_timeouts=None) -> dict:
+    """Time for ``ops`` operations at one (mode, ring size) point."""
+    env, kv, gen = _build(
+        RxMode[mode.upper()], ring_size=ring_size, seed=seed,
+        max_total_timeouts=max_total_timeouts,
+    )
+    done = gen.start(ops_limit=ops)
+    env.run(until=60.0)
+    return {
+        "mode": mode,
+        "ring_size": ring_size,
+        "seconds": done.value if done.triggered else float("inf"),
+        "failures": gen.failed_connections,
+    }
+
+
+def ring_sweep_cells(ring_sizes=(16, 64, 256, 1024), ops: int = 1500,
+                     seed: int = 13) -> List[Cell]:
+    out: List[Cell] = []
+    for ring_size in ring_sizes:
+        for mode in MODES:
+            out.append(cell(
+                "fig4b", len(out), cell_ring_point, mode=mode,
+                ring_size=ring_size, ops=ops, seed=seed,
+                max_total_timeouts=12 if mode == "drop" else None,
+            ))
+    return out
+
+
+def merge_ring_sweep(sweep: Sequence[Cell],
+                     fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="figure-4b",
         title="Time to perform a fixed operation count vs ring size",
         columns=["ring_size", "drop_s", "backup_s", "pin_s", "drop_failures"],
         scaling=(f"TCP timers compressed {TIME_SCALE}x; "
-                 f"{ops} ops instead of the paper's 10,000"),
+                 f"{dict(sweep[0].config)['ops']} ops instead of the "
+                 f"paper's 10,000" if sweep else "n/a"),
     )
-    for ring_size in ring_sizes:
-        row = {"ring_size": ring_size}
-        for name, mode in MODES.items():
-            env, kv, gen = _build(
-                mode, ring_size=ring_size, seed=seed,
-                max_total_timeouts=12 if name == "drop" else None,
-            )
-            done = gen.start(ops_limit=ops)
-            env.run(until=60.0)
-            if done.triggered:
-                row[f"{name}_s"] = done.value
-            else:
-                row[f"{name}_s"] = float("inf")
-            if name == "drop":
-                row["drop_failures"] = gen.failed_connections
+    rows: "Dict[int, dict]" = {}
+    for fragment in fragments:
+        row = rows.setdefault(fragment["ring_size"],
+                              {"ring_size": fragment["ring_size"]})
+        row[f"{fragment['mode']}_s"] = fragment["seconds"]
+        if fragment["mode"] == "drop":
+            row["drop_failures"] = fragment["failures"]
+    for row in rows.values():  # insertion order == sweep order
         result.add_row(**row)
     result.notes.append(
         "paper: drop grows with ring size until the stack gives up "
         "(>=128 entries); backup's warm-up cost grows slowly; pin is flat"
     )
     return result
+
+
+def run_ring_sweep(ring_sizes=(16, 64, 256, 1024),
+                   ops: int = 1500, seed: int = 13) -> ExperimentResult:
+    """Figure 4(b): time for ``ops`` operations vs receive-ring size."""
+    return run_cells(ring_sweep_cells(ring_sizes=ring_sizes, ops=ops,
+                                      seed=seed), merge_ring_sweep)

@@ -7,11 +7,15 @@ and both instances end up equally served; with pinning, memory was
 split 500/500 up front and whichever instance needs 900 MB is stuck at
 ~55 % hit rate.  The metric is hits/sec (memcached is an LRU cache; its
 hit rate reflects its effective memory).
+
+The two configurations (NPF, pinning) are independent cells — the
+longest-running sweep in the suite parallelizes down to its slower
+half.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Sequence
 
 from ..apps.framing import MessageFramer
 from ..apps.kvstore import KvServer
@@ -23,9 +27,10 @@ from ..sim.engine import Environment
 from ..sim.rng import Rng
 from ..sim.units import Gbps, KB, MB
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 from .config import scaled_tcp_params
 
-__all__ = ["run"]
+__all__ = ["run", "cells", "merge", "cell_mode"]
 
 # Scaled from the paper's 100 MB / 900 MB working sets under a 1 GB cap.
 SMALL_KEYS = 400      # ~1.6 MB at 4 KB per item slab
@@ -34,8 +39,9 @@ HOST_MEMORY = 20 * MB
 PIN_SPLIT = 8 * MB    # the paper's static 500 MB per instance
 
 
-def _run_config(npf: bool, duration: float, switch_at: float,
-                seed: int) -> Dict[str, List]:
+def cell_mode(npf: bool, duration: float, switch_at: float,
+              seed: int) -> Dict[str, List]:
+    """One full dynamic-working-set run for one registration mode."""
     MessageFramer.reset_registry()
     env = Environment()
     params = scaled_tcp_params()
@@ -74,14 +80,23 @@ def _run_config(npf: bool, duration: float, switch_at: float,
     for gen in generators:
         gen.stop()
     return {
-        "times": generators[0].hps.series.times,
-        "grow": generators[0].hps.series.values,    # 10% -> 90%
-        "shrink": generators[1].hps.series.values,  # 90% -> 10%
+        "times": list(generators[0].hps.series.times),
+        "grow": list(generators[0].hps.series.values),    # 10% -> 90%
+        "shrink": list(generators[1].hps.series.values),  # 90% -> 10%
     }
 
 
-def run(duration: float = 6.0, switch_at: float = 2.0,
-        seed: int = 23) -> ExperimentResult:
+def cells(duration: float = 6.0, switch_at: float = 2.0,
+          seed: int = 23) -> List[Cell]:
+    return [
+        cell("fig7", i, cell_mode, npf=npf, duration=duration,
+             switch_at=switch_at, seed=seed)
+        for i, npf in enumerate((True, False))
+    ]
+
+
+def merge(sweep: Sequence[Cell], fragments: List[Any]) -> ExperimentResult:
+    switch_at = dict(sweep[0].config)["switch_at"] if sweep else 0.0
     result = ExperimentResult(
         experiment_id="figure-7",
         title="Hits/sec with dynamic working sets (switch at "
@@ -91,8 +106,7 @@ def run(duration: float = 6.0, switch_at: float = 2.0,
         scaling="memory ~1/32 of the paper's 1GB cgroup; time ~1/5 of "
                 "the paper's 250s run",
     )
-    npf = _run_config(True, duration, switch_at, seed)
-    pin = _run_config(False, duration, switch_at, seed)
+    npf, pin = fragments
     n = min(len(npf["times"]), len(pin["times"]))
     for i in range(n):
         result.add_row(
@@ -110,3 +124,9 @@ def run(duration: float = 6.0, switch_at: float = 2.0,
         "with 500MB and suffers; aggregate NPF throughput wins"
     )
     return result
+
+
+def run(duration: float = 6.0, switch_at: float = 2.0,
+        seed: int = 23) -> ExperimentResult:
+    return run_cells(cells(duration=duration, switch_at=switch_at,
+                           seed=seed), merge)

@@ -13,9 +13,14 @@
 Scaled 1/64: 4 GB LUN -> 56 MB (3.5 GB), 1 GB comm region -> 16 MB,
 4-8 GB sweep -> 64-128 MB.  ``OS_RESERVE`` models the paper testbed's
 non-pageable baseline footprint (kernel, fio, tgt heap).
+
+Every (memory point, mode) of (a) and (session count, mode, I/O size)
+of (b) is one cell.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..apps.storage import Disk, FioTester, StorageTarget
 from ..host.ib import ib_pair
@@ -24,8 +29,13 @@ from ..sim.engine import Environment
 from ..sim.rng import Rng
 from ..sim.units import GB, KB, MB
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 
-__all__ = ["run_bandwidth", "run_resident_memory"]
+__all__ = [
+    "run_bandwidth", "run_resident_memory",
+    "bandwidth_cells", "merge_bandwidth", "cell_bandwidth",
+    "resident_cells", "merge_resident", "cell_resident",
+]
 
 LUN_BYTES = 56 * MB
 COMM_BYTES = 16 * MB
@@ -53,41 +63,53 @@ def _build(memory_bytes: int, pinned: bool, io_size: int, sessions: int,
     return env, target, fio
 
 
-def run_bandwidth(memory_points_gb=(4, 5, 6, 7, 8), ios: int = 400,
-                  seed: int = 29) -> ExperimentResult:
-    """Figure 8(a): bandwidth vs memory, NPF vs pinned."""
+def cell_bandwidth(memory_gb: int, pinned: bool, ios: int,
+                   seed: int) -> Optional[float]:
+    """Random-read bandwidth (GB/s) at one (memory, mode) point."""
+    memory = memory_gb * GB // 64
+    try:
+        env, target, fio = _build(memory, pinned, BLOCK, 1, seed)
+    except OutOfMemoryError:
+        return None
+    start = env.now
+    done = fio.run(total_ios=ios)
+    env.run(env.any_of([done, env.timeout(600.0)]))
+    if fio.completed < ios:
+        return None
+    elapsed = done.value - start
+    return fio.bytes_read / elapsed / GB
+
+
+def bandwidth_cells(memory_points_gb=(4, 5, 6, 7, 8), ios: int = 400,
+                    seed: int = 29) -> List[Cell]:
+    out: List[Cell] = []
+    for gb in memory_points_gb:
+        for pinned in (False, True):
+            out.append(cell("fig8a", len(out), cell_bandwidth,
+                            memory_gb=gb, pinned=pinned, ios=ios, seed=seed))
+    return out
+
+
+def merge_bandwidth(sweep: Sequence[Cell],
+                    fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="figure-8a",
         title="Storage bandwidth vs host memory (512KB random reads)",
         columns=["memory_gb", "npf_gbps", "pin_gbps", "npf_vs_pin"],
         scaling="all capacities /64 (4GB LUN -> 56MB etc.)",
     )
-    for gb in memory_points_gb:
-        memory = gb * GB // 64
-        row = {"memory_gb": gb}
-        bandwidths = {}
-        for label, pinned in (("npf", False), ("pin", True)):
-            try:
-                env, target, fio = _build(memory, pinned, BLOCK, 1, seed)
-            except OutOfMemoryError:
-                bandwidths[label] = None
-                continue
-            start = env.now
-            done = fio.run(total_ios=ios)
-            env.run(env.any_of([done, env.timeout(600.0)]))
-            if fio.completed < ios:
-                bandwidths[label] = None
-                continue
-            elapsed = done.value - start
-            bandwidths[label] = fio.bytes_read / elapsed / GB
-        row["npf_gbps"] = (round(bandwidths["npf"], 3)
-                           if bandwidths["npf"] else "FAIL")
-        row["pin_gbps"] = (round(bandwidths["pin"], 3)
-                           if bandwidths["pin"] else "FAIL")
-        if bandwidths["npf"] and bandwidths["pin"]:
-            row["npf_vs_pin"] = round(bandwidths["npf"] / bandwidths["pin"], 2)
-        else:
-            row["npf_vs_pin"] = "-"
+    rows: Dict[int, dict] = {}
+    for spec, bandwidth in zip(sweep, fragments):
+        config = spec.kwargs()
+        row = rows.setdefault(config["memory_gb"], {
+            "memory_gb": config["memory_gb"], "npf": None, "pin": None,
+        })
+        row["pin" if config["pinned"] else "npf"] = bandwidth
+    for row in rows.values():
+        npf, pin = row.pop("npf"), row.pop("pin")
+        row["npf_gbps"] = round(npf, 3) if npf else "FAIL"
+        row["pin_gbps"] = round(pin, 3) if pin else "FAIL"
+        row["npf_vs_pin"] = round(npf / pin, 2) if npf and pin else "-"
         result.add_row(**row)
     result.notes.append(
         "paper: pinned fails to load below 5GB; NPF wins by 1.4-1.9x in the "
@@ -96,28 +118,59 @@ def run_bandwidth(memory_points_gb=(4, 5, 6, 7, 8), ios: int = 400,
     return result
 
 
-def run_resident_memory(session_counts=(1, 2, 4, 8, 16, 32),
-                        ios_per_session: int = 16,
-                        seed: int = 31) -> ExperimentResult:
-    """Figure 8(b): tgt comm-buffer resident memory vs #initiators."""
+def run_bandwidth(memory_points_gb=(4, 5, 6, 7, 8), ios: int = 400,
+                  seed: int = 29) -> ExperimentResult:
+    """Figure 8(a): bandwidth vs memory, NPF vs pinned."""
+    return run_cells(bandwidth_cells(memory_points_gb=memory_points_gb,
+                                     ios=ios, seed=seed), merge_bandwidth)
+
+
+def cell_resident(sessions: int, pinned: bool, io_size: int,
+                  ios_per_session: int, seed: int) -> float:
+    """tgt comm-buffer resident MB at one (sessions, mode, io) point."""
+    memory = 6 * GB // 64
+    env, target, fio = _build(memory, pinned, io_size, sessions, seed)
+    done = fio.run(total_ios=ios_per_session * sessions)
+    env.run(env.any_of([done, env.timeout(600.0)]))
+    return round(target.comm_resident_bytes / MB, 2)
+
+
+#: (column, pinned, io_size) triplets of Figure 8(b), in column order.
+_RESIDENT_VARIANTS = (
+    ("npf_64KB_mb", False, 64 * KB),
+    ("npf_512KB_mb", False, 512 * KB),
+    ("pin_mb", True, 64 * KB),
+)
+
+
+def resident_cells(session_counts=(1, 2, 4, 8, 16, 32),
+                   ios_per_session: int = 16, seed: int = 31) -> List[Cell]:
+    out: List[Cell] = []
+    for sessions in session_counts:
+        for _, pinned, io_size in _RESIDENT_VARIANTS:
+            out.append(cell("fig8b", len(out), cell_resident,
+                            sessions=sessions, pinned=pinned, io_size=io_size,
+                            ios_per_session=ios_per_session, seed=seed))
+    return out
+
+
+def merge_resident(sweep: Sequence[Cell],
+                   fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="figure-8b",
         title="tgt resident comm-buffer memory vs initiator sessions (6GB host)",
         columns=["sessions", "npf_64KB_mb", "npf_512KB_mb", "pin_mb"],
         scaling="capacities /64; sessions 1-32 instead of 1-80",
     )
-    memory = 6 * GB // 64
-    for sessions in session_counts:
-        row = {"sessions": sessions}
-        for label, pinned, io_size in (
-            ("npf_64KB_mb", False, 64 * KB),
-            ("npf_512KB_mb", False, 512 * KB),
-            ("pin_mb", True, 64 * KB),
-        ):
-            env, target, fio = _build(memory, pinned, io_size, sessions, seed)
-            done = fio.run(total_ios=ios_per_session * sessions)
-            env.run(env.any_of([done, env.timeout(600.0)]))
-            row[label] = round(target.comm_resident_bytes / MB, 2)
+    columns = {(pinned, io_size): name
+               for name, pinned, io_size in _RESIDENT_VARIANTS}
+    rows: Dict[int, dict] = {}
+    for spec, resident_mb in zip(sweep, fragments):
+        config = spec.kwargs()
+        row = rows.setdefault(config["sessions"],
+                              {"sessions": config["sessions"]})
+        row[columns[(config["pinned"], config["io_size"])]] = resident_mb
+    for row in rows.values():
         result.add_row(**row)
     result.notes.append(
         "paper: memory use grows with sessions; with 64KB blocks NPF backs "
@@ -125,3 +178,12 @@ def run_resident_memory(session_counts=(1, 2, 4, 8, 16, 32),
         "full 1GB (16MB scaled) regardless"
     )
     return result
+
+
+def run_resident_memory(session_counts=(1, 2, 4, 8, 16, 32),
+                        ios_per_session: int = 16,
+                        seed: int = 31) -> ExperimentResult:
+    """Figure 8(b): tgt comm-buffer resident memory vs #initiators."""
+    return run_cells(resident_cells(session_counts=session_counts,
+                                    ios_per_session=ios_per_session,
+                                    seed=seed), merge_resident)

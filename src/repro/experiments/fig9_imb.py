@@ -4,23 +4,31 @@ Runs sendrecv / bcast / alltoall in ``off_cache`` mode (rotating
 buffers) for each registration strategy and reports runtimes per
 message size, plus the copy/pin ratio the paper annotates (1.1x-2.2x,
 growing with message size).  NPF should track the pin-down cache.
+
+Each (benchmark, size, mode) triple is one cell — 36 cells at default
+scale, the widest fan-out in the suite.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..apps.mpi import MpiWorld
 from ..sim.engine import Environment
 from ..sim.units import KB, MB
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 
-__all__ = ["run"]
+__all__ = ["run", "cells", "merge", "cell_runtime"]
 
 BENCHMARKS = ("sendrecv", "bcast", "alltoall")
 SIZES = (16 * KB, 32 * KB, 64 * KB, 128 * KB)
+MODES = ("copy", "pin", "npf")
 
 
-def _runtime(mode: str, benchmark: str, size: int, iterations: int,
-             n_ranks: int) -> float:
+def cell_runtime(mode: str, benchmark: str, size: int, iterations: int,
+                 n_ranks: int) -> float:
+    """Simulated runtime of one benchmark at one size for one mode."""
     env = Environment()
     world = MpiWorld(env, n_ranks=n_ranks, mode=mode, memory_bytes=512 * MB)
     proc = env.process(getattr(world, benchmark)(size, iterations))
@@ -28,15 +36,8 @@ def _runtime(mode: str, benchmark: str, size: int, iterations: int,
     return env.now
 
 
-def run(iterations: int = 200, n_ranks: int = 4) -> ExperimentResult:
-    result = ExperimentResult(
-        experiment_id="figure-9",
-        title=f"IMB runtime vs message size ({n_ranks} ranks, "
-              f"{iterations} iterations, off_cache)",
-        columns=["benchmark", "size_kb", "copy_s", "pin_s", "npf_s",
-                 "copy_vs_pin", "npf_vs_pin"],
-        scaling=f"{n_ranks} ranks instead of 8; {iterations} iterations",
-    )
+def cells(iterations: int = 200, n_ranks: int = 4) -> List[Cell]:
+    out: List[Cell] = []
     for benchmark in BENCHMARKS:
         for size in SIZES:
             # alltoall moves (n-1)x the data per iteration; IMB still runs
@@ -45,20 +46,45 @@ def run(iterations: int = 200, n_ranks: int = 4) -> ExperimentResult:
             iters = iterations if benchmark != "alltoall" else max(
                 50, iterations // 2
             )
-            t_copy = _runtime("copy", benchmark, size, iters, n_ranks)
-            t_pin = _runtime("pin", benchmark, size, iters, n_ranks)
-            t_npf = _runtime("npf", benchmark, size, iters, n_ranks)
-            result.add_row(
-                benchmark=benchmark,
-                size_kb=size // KB,
-                copy_s=t_copy,
-                pin_s=t_pin,
-                npf_s=t_npf,
-                copy_vs_pin=round(t_copy / t_pin, 2),
-                npf_vs_pin=round(t_npf / t_pin, 2),
-            )
+            for mode in MODES:
+                out.append(cell("fig9", len(out), cell_runtime, mode=mode,
+                                benchmark=benchmark, size=size,
+                                iterations=iters, n_ranks=n_ranks))
+    return out
+
+
+def merge(sweep: Sequence[Cell], fragments: List[Any]) -> ExperimentResult:
+    n_ranks = dict(sweep[0].config)["n_ranks"] if sweep else 0
+    iterations = dict(sweep[0].config)["iterations"] if sweep else 0
+    result = ExperimentResult(
+        experiment_id="figure-9",
+        title=f"IMB runtime vs message size ({n_ranks} ranks, "
+              f"{iterations} iterations, off_cache)",
+        columns=["benchmark", "size_kb", "copy_s", "pin_s", "npf_s",
+                 "copy_vs_pin", "npf_vs_pin"],
+        scaling=f"{n_ranks} ranks instead of 8; {iterations} iterations",
+    )
+    runtimes: Dict[Tuple[str, int], dict] = {}
+    for spec, runtime in zip(sweep, fragments):
+        config = spec.kwargs()
+        point = runtimes.setdefault((config["benchmark"], config["size"]), {})
+        point[config["mode"]] = runtime
+    for (benchmark, size), point in runtimes.items():
+        result.add_row(
+            benchmark=benchmark,
+            size_kb=size // KB,
+            copy_s=point["copy"],
+            pin_s=point["pin"],
+            npf_s=point["npf"],
+            copy_vs_pin=round(point["copy"] / point["pin"], 2),
+            npf_vs_pin=round(point["npf"] / point["pin"], 2),
+        )
     result.notes.append(
         "paper: copying costs 1.1x (small) to 2.1-2.2x (large) over the "
         "pin-down cache; NPF matches the pin-down cache throughout"
     )
     return result
+
+
+def run(iterations: int = 200, n_ranks: int = 4) -> ExperimentResult:
+    return run_cells(cells(iterations=iterations, n_ranks=n_ranks), merge)

@@ -6,24 +6,28 @@ that exists *only because* NPFs are unavailable (Firehose alone is
 NPFs took ~40 LOC.  This module counts the equivalent split inside this
 repository: the registration machinery a pinning world forces on users
 vs what an ODP world needs.
+
+One cell per counted module; the totals are computed at merge time.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, List, Sequence
 
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 
-__all__ = ["run", "count_loc"]
+__all__ = ["run", "cells", "merge", "count_loc", "cell_count"]
 
 _CORE = Path(__file__).resolve().parent.parent / "core"
 
 #: registration machinery applications must carry without NPFs
-PINNING_MODULES = ["pin_down_cache.py", "pinning.py"]
+PINNING_MODULES = ("pin_down_cache.py", "pinning.py")
 #: what an application needs with NPFs: one registration call (the ODP
 #: MR class itself is driver-side, not app code, but count it anyway as
 #: the most conservative comparison)
-NPF_MODULES = ["regions.py"]
+NPF_MODULES = ("regions.py",)
 
 
 def count_loc(path: Path) -> int:
@@ -50,7 +54,23 @@ def count_loc(path: Path) -> int:
     return lines
 
 
-def run() -> ExperimentResult:
+def cell_count(name: str, pinning: bool) -> dict:
+    """Count one core module's LOC; ``pinning`` tags its role."""
+    return {"name": name, "pinning": pinning, "loc": count_loc(_CORE / name)}
+
+
+def cells() -> List[Cell]:
+    out: List[Cell] = []
+    for name in PINNING_MODULES:
+        out.append(cell("sec63", len(out), cell_count, name=name,
+                        pinning=True))
+    for name in NPF_MODULES:
+        out.append(cell("sec63", len(out), cell_count, name=name,
+                        pinning=False))
+    return out
+
+
+def merge(sweep: Sequence[Cell], fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="section-6.3",
         title="Programming complexity: LOC of pinning machinery vs NPF usage",
@@ -58,16 +78,14 @@ def run() -> ExperimentResult:
         scaling="counted on this repository's own implementations",
     )
     pinning_total = 0
-    for name in PINNING_MODULES:
-        loc = count_loc(_CORE / name)
-        pinning_total += loc
-        result.add_row(component=f"core/{name}", loc=loc,
+    for fragment in (f for f in fragments if f["pinning"]):
+        pinning_total += fragment["loc"]
+        result.add_row(component=f"core/{fragment['name']}",
+                       loc=fragment["loc"],
                        role="pinning machinery apps must carry")
-    npf_total = 0
-    for name in NPF_MODULES:
-        loc = count_loc(_CORE / name)
-        npf_total += loc
-        result.add_row(component=f"core/{name}", loc=loc,
+    for fragment in (f for f in fragments if not f["pinning"]):
+        result.add_row(component=f"core/{fragment['name']}",
+                       loc=fragment["loc"],
                        role="MR layer incl. ODP (driver-side)")
     result.add_row(component="TOTAL pinning-only", loc=pinning_total,
                    role="deletable once NPFs exist")
@@ -78,3 +96,7 @@ def run() -> ExperimentResult:
         "backend; tgt port took ~40 LOC"
     )
     return result
+
+
+def run() -> ExperimentResult:
+    return run_cells(cells(), merge)

@@ -10,9 +10,13 @@ cell from micro-measurements on the actual implementations:
   machinery (measured as API calls the app must make per buffer)?
 * multitenant friendliness — can N tenants with small working sets
   coexist in memory that their address spaces would oversubscribe?
+
+One cell per strategy.
 """
 
 from __future__ import annotations
+
+from typing import Any, List, Sequence
 
 from ..core.driver import NpfDriver
 from ..core.npf import NpfSide
@@ -23,8 +27,11 @@ from ..mem.memory import Memory, OutOfMemoryError
 from ..sim.engine import Environment
 from ..sim.units import MB, PAGE_SIZE, us
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 
-__all__ = ["run"]
+__all__ = ["run", "cells", "merge", "cell_strategy"]
+
+STRATEGIES = ("static", "fine", "coarse", "npf")
 
 
 def _stack(mem_pages=2048):
@@ -118,7 +125,21 @@ def _can_overcommit(strategy: str) -> bool:
 API_CALLS = {"static": 0, "fine": 2, "coarse": 2, "npf": 0}
 
 
-def run() -> ExperimentResult:
+def cell_strategy(strategy: str) -> dict:
+    """Micro-measure one pinning strategy's trade-off cells."""
+    return {
+        "strategy": strategy,
+        "overhead_us": _steady_overhead_us(strategy),
+        "overcommit": _can_overcommit(strategy),
+    }
+
+
+def cells() -> List[Cell]:
+    return [cell("table3", i, cell_strategy, strategy=strategy)
+            for i, strategy in enumerate(STRATEGIES)]
+
+
+def merge(sweep: Sequence[Cell], fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table-3",
         title="Pinning strategies: measured trade-off matrix",
@@ -126,12 +147,12 @@ def run() -> ExperimentResult:
                  "app_api_calls_per_buffer", "multitenant_friendly"],
         scaling="derived from micro-runs on this library's implementations",
     )
-    for strategy in ("static", "fine", "coarse", "npf"):
-        overhead = _steady_overhead_us(strategy)
-        overcommit = _can_overcommit(strategy)
+    for fragment in fragments:
+        strategy = fragment["strategy"]
+        overcommit = fragment["overcommit"]
         result.add_row(
             strategy=strategy,
-            steady_overhead_us=round(overhead, 2),
+            steady_overhead_us=round(fragment["overhead_us"], 2),
             overcommit_2x="yes" if overcommit else "NO",
             app_api_calls_per_buffer=API_CALLS[strategy],
             multitenant_friendly="yes" if overcommit and API_CALLS[strategy] == 0
@@ -142,3 +163,7 @@ def run() -> ExperimentResult:
         "slow; coarse is complex; NPFs alone have no trade-off"
     )
     return result
+
+
+def run() -> ExperimentResult:
+    return run_cells(cells(), merge)

@@ -1,6 +1,13 @@
-"""Table 4 — tail latency of NPFs (50/95/99/max percentiles)."""
+"""Table 4 — tail latency of NPFs (50/95/99/max percentiles).
+
+One cell per message size; each cell runs its own fault storm and
+returns the measured percentiles.  The paper's reference numbers are
+attached at merge time (they are presentation, not measurement).
+"""
 
 from __future__ import annotations
+
+from typing import Any, List, Sequence
 
 from ..core.costs import NpfCosts
 from ..core.driver import NpfDriver
@@ -12,8 +19,9 @@ from ..sim.rng import Rng
 from ..sim.stats import percentile
 from ..sim.units import KB, MB, PAGE_SIZE, us
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 
-__all__ = ["run"]
+__all__ = ["run", "cells", "merge", "cell_tail"]
 
 PAPER = {
     "4KB": {"p50": 215, "p95": 250, "p99": 261, "max": 464},
@@ -21,7 +29,48 @@ PAPER = {
 }
 
 
-def run(samples: int = 2000, seed: int = 7) -> ExperimentResult:
+def cell_tail(label: str, size: int, samples: int, seed: int) -> dict:
+    """Measure NPF latency percentiles for one message size."""
+    env = Environment()
+    memory = Memory(4 * 1024 * PAGE_SIZE)
+    iommu = Iommu()
+    driver = NpfDriver(env, iommu, costs=NpfCosts(rng=Rng(seed)))
+    space = memory.create_space()
+    n_pages = size // PAGE_SIZE
+    region = space.mmap(2 * size)
+    mr = driver.register_odp(space, region)
+    base_vpn = region.vpns()[0]
+
+    def faults():
+        for i in range(samples):
+            vpn = base_vpn + (i % 2) * n_pages
+            yield env.process(
+                driver.service_fault(mr, vpn, n_pages, NpfSide.SEND)
+            )
+            # Unmap again so every iteration is a fresh minor fault.
+            for v in range(vpn, vpn + n_pages):
+                driver.invalidate(mr, v)
+
+    env.run(env.process(faults()))
+    latencies = [e.latency for e in driver.log.npf_events if e.n_pages > 0]
+    return dict(
+        message=label,
+        p50_us=percentile(latencies, 50) / us,
+        p95_us=percentile(latencies, 95) / us,
+        p99_us=percentile(latencies, 99) / us,
+        max_us=max(latencies) / us,
+    )
+
+
+def cells(samples: int = 2000, seed: int = 7) -> List[Cell]:
+    return [
+        cell("table4", i, cell_tail, label=label, size=size,
+             samples=samples, seed=seed)
+        for i, (label, size) in enumerate((("4KB", 4 * KB), ("4MB", 4 * MB)))
+    ]
+
+
+def merge(sweep: Sequence[Cell], fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table-4",
         title="Tail latency of NPFs",
@@ -29,36 +78,11 @@ def run(samples: int = 2000, seed: int = 7) -> ExperimentResult:
                  "paper_p50", "paper_p99"],
         scaling="none (microbenchmark)",
     )
-    for label, size in (("4KB", 4 * KB), ("4MB", 4 * MB)):
-        env = Environment()
-        memory = Memory(4 * 1024 * PAGE_SIZE)
-        iommu = Iommu()
-        driver = NpfDriver(env, iommu, costs=NpfCosts(rng=Rng(seed)))
-        space = memory.create_space()
-        n_pages = size // PAGE_SIZE
-        region = space.mmap(2 * size)
-        mr = driver.register_odp(space, region)
-        base_vpn = region.vpns()[0]
-
-        def faults():
-            for i in range(samples):
-                vpn = base_vpn + (i % 2) * n_pages
-                yield env.process(
-                    driver.service_fault(mr, vpn, n_pages, NpfSide.SEND)
-                )
-                # Unmap again so every iteration is a fresh minor fault.
-                for v in range(vpn, vpn + n_pages):
-                    driver.invalidate(mr, v)
-
-        env.run(env.process(faults()))
-        latencies = [e.latency for e in driver.log.npf_events if e.n_pages > 0]
-        result.add_row(
-            message=label,
-            p50_us=percentile(latencies, 50) / us,
-            p95_us=percentile(latencies, 95) / us,
-            p99_us=percentile(latencies, 99) / us,
-            max_us=max(latencies) / us,
-            paper_p50=PAPER[label]["p50"],
-            paper_p99=PAPER[label]["p99"],
-        )
+    for row in fragments:
+        paper = PAPER[row["message"]]
+        result.add_row(**row, paper_p50=paper["p50"], paper_p99=paper["p99"])
     return result
+
+
+def run(samples: int = 2000, seed: int = 7) -> ExperimentResult:
+    return run_cells(cells(samples=samples, seed=seed), merge)

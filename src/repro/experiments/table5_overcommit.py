@@ -8,11 +8,13 @@ guest memory exceeds physical memory.
 
 Scaled by ``MEM_SCALE`` (1/64): 128 MB host, 48 MB VMs, 24 MB working
 sets.
+
+Each (instance count, npf-or-pin) point is one cell.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..apps.framing import MessageFramer
 from ..apps.kvstore import KvServer
@@ -25,9 +27,10 @@ from ..sim.engine import Environment
 from ..sim.rng import Rng
 from ..sim.units import GB, Gbps, KB
 from .base import ExperimentResult
+from .cells import Cell, cell, run_cells
 from .config import scale_bytes, scaled_tcp_params
 
-__all__ = ["run", "run_config"]
+__all__ = ["run", "run_config", "cells", "merge", "cell_instances"]
 
 HOST_MEMORY = scale_bytes(8 * GB)       # 128 MB
 VM_MEMORY = scale_bytes(3 * GB)         # 48 MB: what each VM pins/thinks it has
@@ -75,23 +78,48 @@ def run_config(n_instances: int, npf: bool, ops_per_vm: int = 2500,
     return (total_ops / finish) / 1000.0  # KTPS
 
 
-def run(max_instances: int = 4, ops_per_vm: int = 2500) -> ExperimentResult:
+def cell_instances(n_instances: int, npf: bool, ops_per_vm: int,
+                   seed: int) -> Optional[float]:
+    """One (instance count, registration mode) sweep point."""
+    return run_config(n_instances, npf=npf, ops_per_vm=ops_per_vm, seed=seed)
+
+
+def cells(max_instances: int = 4, ops_per_vm: int = 2500,
+          seed: int = 17) -> List[Cell]:
+    out: List[Cell] = []
+    for n in range(1, max_instances + 1):
+        for npf in (True, False):
+            out.append(cell("table5", len(out), cell_instances,
+                            n_instances=n, npf=npf, ops_per_vm=ops_per_vm,
+                            seed=seed))
+    return out
+
+
+def merge(sweep: Sequence[Cell], fragments: List[Any]) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table-5",
         title="Aggregate memcached throughput vs #VM instances (KTPS)",
         columns=["instances", "npf_ktps", "pinning_ktps"],
         scaling="memory /64 (8GB host -> 128MB; 3GB VMs -> 48MB)",
     )
-    for n in range(1, max_instances + 1):
-        npf = run_config(n, npf=True, ops_per_vm=ops_per_vm)
-        pin = run_config(n, npf=False, ops_per_vm=ops_per_vm)
-        result.add_row(
-            instances=n,
-            npf_ktps=round(npf, 1) if npf is not None else "FAIL",
-            pinning_ktps=round(pin, 1) if pin is not None else "N/A",
-        )
+    rows: Dict[int, dict] = {}
+    for spec, ktps in zip(sweep, fragments):
+        config = spec.kwargs()
+        row = rows.setdefault(config["n_instances"],
+                              {"instances": config["n_instances"]})
+        if config["npf"]:
+            row["npf_ktps"] = round(ktps, 1) if ktps is not None else "FAIL"
+        else:
+            row["pinning_ktps"] = round(ktps, 1) if ktps is not None else "N/A"
+    for row in rows.values():
+        result.add_row(**row)
     result.notes.append(
         "paper: NPF 186/311/407/484 KTPS for 1-4 instances; pinning matches "
         "for 1-2 and cannot launch 3+ (aggregate pinned memory > physical)"
     )
     return result
+
+
+def run(max_instances: int = 4, ops_per_vm: int = 2500) -> ExperimentResult:
+    return run_cells(cells(max_instances=max_instances,
+                           ops_per_vm=ops_per_vm), merge)

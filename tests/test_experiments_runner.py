@@ -1,0 +1,243 @@
+"""The parallel sweep-cell engine: equivalence, caching, sanitizing.
+
+The engine's contract is strong: whatever ``jobs`` is, and whether
+fragments came from the pool or the cache, the merged tables are
+byte-identical to the sequential facades' output.  These tests pin
+that contract on a set of fast experiments (the full sweep runs in the
+``e2e_run_all`` benchmark gate instead).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import print_result, results_to_json
+from repro.experiments.cells import (
+    Cell,
+    cell,
+    cell_fingerprint,
+    resolve,
+    source_fingerprint,
+)
+from repro.experiments.runner import CacheStats, run_experiment, run_many
+
+# Sub-second experiments: enough to exercise every engine path without
+# paying for the minute-long sweeps.
+FAST = ["table3", "sec63", "ablation-batching", "ablation-bypass",
+        "ablation-classes", "ablation-pdc"]
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not _FORK, reason="needs fork start method")
+
+
+def _render(results) -> str:
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        for result in results:
+            print_result(result)
+    return buf.getvalue()
+
+
+# -- the cell abstraction ----------------------------------------------------
+
+def test_cells_are_picklable_and_resolvable():
+    for name in FAST:
+        for spec in runner.SPECS[name].cells():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert callable(resolve(clone))
+
+
+def test_cell_config_is_canonically_ordered():
+    from repro.experiments.table3_tradeoffs import cell_strategy
+
+    a = cell("x", 0, cell_strategy, strategy="npf")
+    assert a.config == (("strategy", "npf"),)
+    assert a.kwargs() == {"strategy": "npf"}
+    assert a.fn == "repro.experiments.table3_tradeoffs:cell_strategy"
+
+
+def test_cell_fingerprint_depends_on_config_and_source():
+    from repro.experiments.table3_tradeoffs import cell_strategy
+
+    a = cell("x", 0, cell_strategy, strategy="npf")
+    b = cell("x", 0, cell_strategy, strategy="fine")
+    assert cell_fingerprint(a, "fp") != cell_fingerprint(b, "fp")
+    assert cell_fingerprint(a, "fp") != cell_fingerprint(a, "other-fp")
+    assert cell_fingerprint(a, "fp") == cell_fingerprint(a, "fp")
+
+
+def test_source_fingerprint_is_stable_within_a_process():
+    assert source_fingerprint() == source_fingerprint()
+    assert len(source_fingerprint()) == 64
+
+
+# -- parallel == sequential --------------------------------------------------
+
+@needs_fork
+def test_parallel_output_is_byte_identical_to_sequential(tmp_path):
+    seq = run_many(FAST, jobs=1, cache=False)
+    par = run_many(FAST, jobs=4, cache=False)
+    assert _render(seq.results.values()) == _render(par.results.values())
+
+
+@needs_fork
+def test_parallel_matches_run_facades():
+    report = run_many(FAST, jobs=2, cache=False)
+    facades = [runner.SPECS[name].run() for name in FAST]
+    assert _render(report.results.values()) == _render(facades)
+
+
+@needs_fork
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_determinism_across_job_counts(jobs):
+    result = run_experiment("ablation-pdc", jobs=jobs, cache=False)
+    baseline = run_experiment("ablation-pdc", jobs=1, cache=False)
+    assert _render([result]) == _render([baseline])
+
+
+def test_json_export_is_stable():
+    r1 = run_experiment("table3", jobs=1, cache=False)
+    r2 = run_experiment("table3", jobs=1, cache=False)
+    assert results_to_json([r1]) == results_to_json([r2])
+    assert '"experiment_id": "table-3"' in results_to_json([r1])
+
+
+# -- the cache ---------------------------------------------------------------
+
+def test_cache_miss_then_hit(tmp_path):
+    cold = CacheStats()
+    r1 = run_experiment("table3", jobs=1, cache_dir=tmp_path, stats=cold)
+    assert (cold.total, cold.hits, cold.misses) == (4, 0, 4)
+
+    warm = CacheStats()
+    r2 = run_experiment("table3", jobs=1, cache_dir=tmp_path, stats=warm)
+    assert (warm.total, warm.hits, warm.misses) == (4, 4, 0)
+    assert _render([r1]) == _render([r2])
+
+
+def test_cache_invalidates_when_source_changes(tmp_path):
+    first = CacheStats()
+    run_experiment("table3", jobs=1, cache_dir=tmp_path,
+                   fingerprint="rev-a", stats=first)
+    assert first.misses == 4
+
+    # Same "source": all hits.  Different "source": all misses again.
+    same = CacheStats()
+    run_experiment("table3", jobs=1, cache_dir=tmp_path,
+                   fingerprint="rev-a", stats=same)
+    assert (same.hits, same.misses) == (4, 0)
+
+    changed = CacheStats()
+    run_experiment("table3", jobs=1, cache_dir=tmp_path,
+                   fingerprint="rev-b", stats=changed)
+    assert (changed.hits, changed.misses) == (0, 4)
+
+
+def test_no_cache_never_touches_disk(tmp_path):
+    stats = CacheStats()
+    run_experiment("table3", jobs=1, cache=False, cache_dir=tmp_path,
+                   stats=stats)
+    assert stats.hits == 0 and stats.misses == 4
+    assert list(tmp_path.iterdir()) == []
+
+
+@needs_fork
+def test_pooled_run_populates_cache_for_sequential_rerun(tmp_path):
+    cold = CacheStats()
+    par = run_experiment("ablation-pdc", jobs=4, cache_dir=tmp_path,
+                         stats=cold)
+    assert cold.misses == 4
+
+    warm = CacheStats()
+    seq = run_experiment("ablation-pdc", jobs=1, cache_dir=tmp_path,
+                         stats=warm)
+    assert warm.hits == 4
+    assert _render([par]) == _render([seq])
+
+
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    stats = CacheStats()
+    run_experiment("sec63", jobs=1, stats=stats)
+    assert stats.misses == 3
+    assert (tmp_path / "alt").is_dir()
+
+
+# -- DMAsan through pooled cells ---------------------------------------------
+
+@needs_fork
+def test_pooled_cell_runs_under_dmasan(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    # ablation-bypass cells drive real DMA traffic through the driver;
+    # a clean run proves each worker installed (and passed) its own
+    # sanitizer session.
+    result = run_experiment("ablation-bypass", jobs=2, cache=False)
+    baseline = run_experiment("ablation-bypass", jobs=1, cache=False)
+    assert _render([result]) == _render([baseline])
+
+
+def cell_violation() -> int:
+    """Test helper cell: reports a DMA invariant breach to the observer.
+
+    Dropping a page the sanitizer never saw become resident is a
+    guaranteed "residency" violation, with no simulation required.
+    """
+    from repro.analysis import hooks
+
+    class _Allocator:
+        used_frames = 0
+        _next_fresh = 0
+
+    class _Memory:
+        allocator = _Allocator()
+
+    class _Space:
+        asid = 99
+        memory = _Memory()
+
+    if hooks.active is not None:
+        hooks.active.on_page_dropped(_Space(), vpn=1, frame=0, evicted=False)
+    return 0
+
+
+def test_cell_violation_fails_loudly(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    spec = Cell(experiment="x", index=0,
+                fn="tests.test_experiments_runner:cell_violation", config=())
+    with pytest.raises(RuntimeError, match="DMAsan"):
+        runner._execute_cell(spec)
+
+
+@needs_fork
+def test_pooled_cell_violation_fails_loudly(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    spec = Cell(experiment="x", index=0,
+                fn="tests.test_experiments_runner:cell_violation", config=())
+    other = Cell(experiment="x", index=1,
+                 fn="tests.test_experiments_runner:cell_violation", config=())
+    with pytest.raises(RuntimeError, match="DMAsan"):
+        runner.execute_cells([spec, other], jobs=2, cache=False)
+
+
+# -- run_many ----------------------------------------------------------------
+
+def test_run_many_reports_stats_and_order():
+    report = run_many(["sec63", "table3"], jobs=1, cache=False)
+    assert list(report.results) == ["sec63", "table3"]
+    assert report.stats.total == 7
+    assert report.wall_s >= 0.0
+
+
+def test_registry_backed_by_specs():
+    from repro.experiments.__main__ import REGISTRY
+
+    assert list(REGISTRY) == list(runner.SPECS)
+    for name, fn in REGISTRY.items():
+        assert fn is runner.SPECS[name].run

@@ -249,6 +249,85 @@ def test_rl006_accepts_iommu_level_unmap(tmp_path):
     assert "RL006" not in _codes(findings)
 
 
+# -- RL007: experiment cell purity -------------------------------------------
+
+def test_rl007_flags_cell_reading_module_list(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        SIZES = [64, 4096]
+
+        def cell_latency(samples):
+            return [s * len(SIZES) for s in range(samples)]
+        """, "src/repro/experiments/fake_exp.py")
+    assert "RL007" in _codes(findings)
+
+
+def test_rl007_flags_cell_mutating_module_dict(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        _RESULTS = {}
+
+        def cell_point(x):
+            _RESULTS[x] = x * 2
+            return _RESULTS[x]
+        """, "src/repro/experiments/fake_exp.py")
+    assert "RL007" in _codes(findings)
+
+
+def test_rl007_flags_global_statement(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        COUNT = 0
+
+        def cell_bump():
+            global COUNT
+            COUNT += 1
+            return COUNT
+        """, "src/repro/experiments/fake_exp.py")
+    assert "RL007" in _codes(findings)
+
+
+def test_rl007_allows_immutable_module_constants(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        MODES = ("pin", "npf")
+        SCALE = 4
+
+        def cell_run(mode):
+            assert mode in MODES
+            return SCALE
+        """, "src/repro/experiments/fake_exp.py")
+    assert "RL007" not in _codes(findings)
+
+
+def test_rl007_allows_locally_shadowed_names(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        SIZES = [64, 4096]
+
+        def cell_run(n):
+            SIZES = list(range(n))
+            return sum(SIZES)
+        """, "src/repro/experiments/fake_exp.py")
+    assert "RL007" not in _codes(findings)
+
+
+def test_rl007_ignores_non_cell_functions(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        CACHE = {}
+
+        def run():
+            CACHE["x"] = 1
+            return CACHE
+        """, "src/repro/experiments/fake_exp.py")
+    assert "RL007" not in _codes(findings)
+
+
+def test_rl007_scoped_to_experiment_modules(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        STATE = []
+
+        def cell_helper():
+            return len(STATE)
+        """, "src/repro/core/fake.py")
+    assert "RL007" not in _codes(findings)
+
+
 # -- baseline ----------------------------------------------------------------
 
 def test_baseline_suppresses_matching_finding(tmp_path):

@@ -183,6 +183,83 @@ BENCHMARKS = {
 #: is their *combined* wall clock (seed sum / optimized sum).
 GATE = ("des_dispatch", "touch_range_fault")
 
+#: sub-second experiments used by ``--experiments --quick`` (CI smoke).
+QUICK_EXPERIMENTS = ("fig3", "table3", "sec63", "ablation-batching",
+                     "ablation-bypass", "ablation-classes", "ablation-pdc",
+                     "ablation-read-rnr")
+
+
+def run_experiments_gate(jobs: int | None, quick: bool) -> dict:
+    """The ``e2e_run_all`` gate for the parallel experiment engine.
+
+    Times ``run all`` three ways — sequential in-process (``jobs=1``,
+    no cache), parallel cold (``--jobs N`` into a fresh cache), and the
+    warm-cache re-run — and verifies the three rendered outputs are
+    byte-identical.  The engine's acceptance criteria ride on the
+    resulting numbers: ``parallel_speedup`` (needs >= 4 cores to mean
+    anything) and ``warm_fraction`` (< 0.1 of the cold time).
+    """
+    import contextlib
+    import io
+    import os
+    import shutil
+    import tempfile
+
+    from repro.experiments.base import print_result
+    from repro.experiments.runner import SPECS, default_jobs, run_many
+
+    jobs = jobs or default_jobs()
+    names = [n for n in SPECS if n in QUICK_EXPERIMENTS] if quick \
+        else list(SPECS)
+
+    def timed(**kwargs):
+        t0 = time.perf_counter()
+        report = run_many(names, **kwargs)
+        elapsed = time.perf_counter() - t0
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            for result in report.results.values():
+                print_result(result)
+        return elapsed, buf.getvalue(), report
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        print(f"  e2e_run_all: {len(names)} experiments, jobs={jobs}")
+        sequential_s, seq_text, seq_report = timed(jobs=1, cache=False)
+        print(f"  sequential (jobs=1, no cache)  {sequential_s:8.1f} s")
+        parallel_s, par_text, _ = timed(jobs=jobs, cache=True,
+                                        cache_dir=cache_dir)
+        print(f"  parallel cold (jobs={jobs})        {parallel_s:8.1f} s")
+        warm_s, warm_text, warm_report = timed(jobs=jobs, cache=True,
+                                               cache_dir=cache_dir)
+        print(f"  warm cache                     {warm_s:8.1f} s")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = seq_text == par_text == warm_text
+    gate = {
+        "experiments": len(names),
+        "cells": seq_report.stats.total,
+        "cores": os.cpu_count(),
+        "jobs": jobs,
+        "quick": quick,
+        "sequential_s": round(sequential_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "warm_s": round(warm_s, 2),
+        "parallel_speedup": round(sequential_s / parallel_s, 2)
+        if parallel_s else None,
+        "warm_fraction": round(warm_s / parallel_s, 4) if parallel_s else None,
+        "warm_hits": warm_report.stats.hits,
+        "outputs_identical": identical,
+    }
+    print(f"  speedup {gate['parallel_speedup']}x, "
+          f"warm fraction {gate['warm_fraction']}, "
+          f"outputs identical: {identical}")
+    if not identical:
+        print("  ERROR: parallel/cached output diverged from sequential",
+              file=sys.stderr)
+    return gate
+
 
 def run_suite(repeat: int, scale_div: int = 1) -> dict:
     results = {}
@@ -215,8 +292,37 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=3,
                         help="repetitions per benchmark; best time wins")
     parser.add_argument("--quick", action="store_true",
-                        help="1/10th scale (CI smoke)")
+                        help="1/10th scale (CI smoke); with --experiments, "
+                             "the sub-second experiment subset")
+    parser.add_argument("--experiments", action="store_true",
+                        help="run the e2e_run_all parallel-engine gate "
+                             "instead of the substrate suite "
+                             "(writes BENCH_experiments.json)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --experiments "
+                             "(default: all cores)")
     args = parser.parse_args(argv)
+
+    if args.experiments:
+        if args.json == parser.get_default("json"):
+            args.json = str(REPO_ROOT / ("BENCH_experiments_quick.json"
+                                         if args.quick
+                                         else "BENCH_experiments.json"))
+        print(f"experiment engine gate ({args.label}):")
+        gate = run_experiments_gate(args.jobs, args.quick)
+        path = Path(args.json)
+        payload = {}
+        if path.exists():
+            payload = json.loads(path.read_text())
+        payload.setdefault("meta", {})[args.label] = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        payload.setdefault("e2e_run_all", {})[args.label] = gate
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 0 if gate["outputs_identical"] else 1
+
     if args.quick and args.json == parser.get_default("json"):
         # Keep 1/10-scale smoke numbers out of the full-scale record —
         # merging them would "compare" against a full-scale seed.

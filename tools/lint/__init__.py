@@ -27,6 +27,11 @@ RL005     class in a hot module (``sim/engine.py``, ``mem/memory.py``,
 RL006     page-table ``unmap``/``unmap_range`` call in a function with no
           IOTLB ``invalidate*`` call: a missing shootdown leaves stale DMA
           translations (use-after-unmap).
+RL007     ``cell_*`` function in an experiment module reads module-level
+          mutable state (or declares ``global``/``nonlocal``): sweep cells
+          must be pure — the parallel runner pickles only the cell config,
+          so hidden state diverges between workers and poisons the
+          content-addressed cache.
 ========  ==================================================================
 
 Suppression

@@ -27,6 +27,8 @@ RULE_DOCS = {
              "(or @dataclass(slots=True))",
     "RL006": "page-table unmap without an IOTLB invalidate in the same "
              "function (stale DMA translations)",
+    "RL007": "experiment cell function touches module-level mutable state "
+             "(cells must be pure: config in, fragment out)",
 }
 
 #: (start_line, start_col, end_line, end_col, replacement) — 1-based lines.
@@ -354,6 +356,102 @@ def _check_unmap_shootdown(path: str, tree: ast.Module) -> Iterator[RawFinding]:
             )
 
 
+# -- RL007: cell purity in experiment modules --------------------------------
+#
+# The parallel runner pickles each ``cell_*`` function's config to a
+# worker process; anything the cell reads from module-level mutable
+# state is invisible to the cache key and may differ between the
+# parent and the workers.  Immutable module constants (tuples,
+# strings, numbers, frozensets) are fine — only mutable bindings and
+# ``global`` rebinding are flagged.
+
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+    "deque", "Counter",
+}
+
+
+def _is_experiments_module(path: str) -> bool:
+    rel = _repro_parts(path)
+    return rel is not None and len(rel) > 1 and rel[0] == "experiments"
+
+
+def _is_mutable_expr(node: Optional[ast.expr]) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        f = node.func
+        name = f.id if isinstance(f, ast.Name) else (
+            f.attr if isinstance(f, ast.Attribute) else "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _module_mutable_names(tree: ast.Module) -> set:
+    names = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_mutable_expr(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and _is_mutable_expr(stmt.value)):
+            names.add(stmt.target.id)
+    return names
+
+
+def _local_bindings(fn: ast.FunctionDef) -> set:
+    bound = {a.arg for a in fn.args.args + fn.args.posonlyargs
+             + fn.args.kwonlyargs}
+    if fn.args.vararg:
+        bound.add(fn.args.vararg.arg)
+    if fn.args.kwarg:
+        bound.add(fn.args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                     (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return bound
+
+
+def _check_cell_purity(path: str, tree: ast.Module) -> Iterator[RawFinding]:
+    if not _is_experiments_module(path):
+        return
+    mutable = _module_mutable_names(tree)
+    for fn in ast.walk(tree):
+        if not (isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and fn.name.startswith("cell_")):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield RawFinding(
+                    node.lineno, node.col_offset, "RL007",
+                    f"cell function {fn.name} declares "
+                    f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}"
+                    f" state; cells must be pure (config in, fragment out)",
+                )
+        if not mutable:
+            continue
+        local = _local_bindings(fn)
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+                    and node.id in mutable and node.id not in local):
+                yield RawFinding(
+                    node.lineno, node.col_offset, "RL007",
+                    f"cell function {fn.name} reads module-level mutable "
+                    f"state '{node.id}'; pass it through the cell config "
+                    f"(or make the module binding immutable)",
+                )
+
+
 # -- entry point -------------------------------------------------------------
 
 def collect_findings(path: str, tree: ast.Module,
@@ -364,6 +462,7 @@ def collect_findings(path: str, tree: ast.Module,
     findings = list(visitor.findings)
     findings.extend(_check_slots(path, tree))
     findings.extend(_check_unmap_shootdown(path, tree))
+    findings.extend(_check_cell_purity(path, tree))
     # RL001 fixes need the import line too; attach it to the first fix.
     for f in findings:
         if f.code == "RL001" and f.fix is not None:
