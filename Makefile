@@ -4,12 +4,14 @@ export PYTHONPATH := src
 ## Worker processes for the parallel experiment engine.
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: test lint sanitize bench bench-quick bench-experiments profile \
-        experiments
+.PHONY: test lint sanitize bench bench-quick bench-quick-record \
+        bench-experiments profile experiments
 
-## Lint + full test suite.  tests/test_experiments_runner.py includes the
-## parallel-equals-sequential smoke check for the experiment engine.
-test: lint
+## Lint + bench smoke + full test suite.  tests/test_experiments_runner.py
+## includes the parallel-equals-sequential smoke check for the experiment
+## engine; bench-quick fails if a gated benchmark regresses below 0.9x of
+## its committed BENCH_substrate_quick.json throughput.
+test: lint bench-quick
 	$(PYTHON) -m pytest -x -q
 
 ## Determinism / DMA-invariant static analysis (tools/lint).
@@ -25,7 +27,13 @@ sanitize:
 bench:
 	$(PYTHON) tools/bench_substrate.py --label optimized
 
+## CI smoke: 1/10-scale suite, read-only compare of the gated benchmarks
+## against the committed quick reference (fails below 0.9x).
 bench-quick:
+	$(PYTHON) tools/bench_substrate.py --label optimized --quick --check
+
+## Re-record the committed quick reference (BENCH_substrate_quick.json).
+bench-quick-record:
 	$(PYTHON) tools/bench_substrate.py --label optimized --quick
 
 ## The e2e_run_all gate: run all experiments sequentially, parallel-cold

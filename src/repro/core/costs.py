@@ -18,15 +18,16 @@ max/median ratio of Table 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import exp as _exp, log as _log
 from typing import Optional
 
-from ..sim.rng import Rng
+from ..sim.rng import NV_MAGICCONST as _NV_MAGICCONST, Rng
 from ..sim.units import ms, us
 
 __all__ = ["NpfCosts", "NpfBreakdown", "InvalidationBreakdown"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NpfBreakdown:
     """Per-fault latency split along Figure 3(a)'s components.
 
@@ -51,7 +52,7 @@ class NpfBreakdown:
         return hw / self.total if self.total else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class InvalidationBreakdown:
     """Latency split along Figure 3(b): checks / hw PT update / sw updates."""
 
@@ -123,12 +124,39 @@ class NpfCosts:
 
     # ------------------------------------------------------------------ API --
     def _jitter(self, value: float) -> float:
-        if self.rng is None:
+        # Hot path: one draw per hardware component of every serviced
+        # fault.  Uses the underlying ``random.Random`` bound methods
+        # directly — same draws, same stream position as the wrapped
+        # ``Rng.lognormal_jitter`` / ``Rng.bernoulli`` calls.
+        rng = self.rng
+        if rng is None:
             return value
-        jittered = self.rng.lognormal_jitter(value, self.jitter_sigma)
-        if self.rng.bernoulli(self.slow_path_probability):
+        rand = rng._random.random
+        # Inlined random.lognormvariate(0.0, sigma): the loop is
+        # CPython's normalvariate() (Kinderman-Monahan) verbatim — same
+        # uniform draws, same stream position, same float out.
+        while True:
+            u1 = rand()
+            u2 = 1.0 - rand()
+            z = _NV_MAGICCONST * (u1 - 0.5) / u2
+            if z * z / 4.0 <= -_log(u2):
+                break
+        jittered = value * _exp(z * self.jitter_sigma)
+        if rand() < self.slow_path_probability:
             jittered *= self.slow_path_multiplier
         return jittered
+
+    # -- batch amortization (§4: one round-trip per faulting page range) ----
+    def os_batch_time(self, n_pages: int) -> float:
+        """Driver/OS phase for an ``n_pages`` batch: per-batch fixed cost
+        (handler invocation, WQE parse) plus a per-page increment (PA
+        query / allocation).  One scheduling decision regardless of N."""
+        return self.driver_base + n_pages * self.os_per_page
+
+    def pt_update_batch_time(self, n_pages: int) -> float:
+        """NIC page-table update for an ``n_pages`` batch: one jittered
+        driver<->NIC handshake per batch plus a per-page write cost."""
+        return self._jitter(self.pt_update_base) + n_pages * self.pt_update_per_page
 
     def npf_breakdown(self, n_pages: int, swap_latency: float = 0.0) -> NpfBreakdown:
         """Latency breakdown for one NPF covering ``n_pages`` pages.
@@ -141,8 +169,8 @@ class NpfCosts:
             raise ValueError(f"an NPF covers at least one page, got {n_pages!r}")
         return NpfBreakdown(
             trigger_interrupt=self._jitter(self.interrupt),
-            driver=self.driver_base + n_pages * self.os_per_page,
-            update_pt=self._jitter(self.pt_update_base) + n_pages * self.pt_update_per_page,
+            driver=self.os_batch_time(n_pages),
+            update_pt=self.pt_update_batch_time(n_pages),
             resume=self._jitter(self.resume),
             swap=swap_latency,
         )

@@ -35,7 +35,7 @@ class NpfSide(enum.Enum):
     RDMA_WRITE_RESPONDER = "rdma-write-responder"
 
 
-@dataclass
+@dataclass(slots=True)
 class NpfEvent:
     """One serviced network page fault."""
 
@@ -51,7 +51,7 @@ class NpfEvent:
         return self.breakdown.total
 
 
-@dataclass
+@dataclass(slots=True)
 class InvalidationEvent:
     """One MMU-notifier-driven IOMMU invalidation."""
 
@@ -117,6 +117,38 @@ class NpfLog:
             self.invalidation_events.append(event)
         else:
             self._stream_invalidation.add(event.breakdown.total)
+
+    # -- allocation-lean streaming entry points -------------------------------
+    # The batched fault-service pipeline uses these when ``keep_events``
+    # is off: the caller passes the already-summed latency so no
+    # NpfEvent / breakdown objects are allocated per fault.
+
+    def record_npf_total(self, side: NpfSide, kind: NpfKind, latency: float) -> None:
+        """Streaming-mode record of one serviced fault (no event object).
+
+        Updates the same counters and the same :class:`StreamingSummary`
+        accumulators as :meth:`record_npf` would for an equivalent event.
+        Only valid with ``keep_events=False``.
+        """
+        if self.keep_events:
+            raise ValueError("record_npf_total requires keep_events=False")
+        self.npf_count += 1
+        if kind is NpfKind.MAJOR:
+            self.major_count += 1
+        else:
+            self.minor_count += 1
+        self._stream_all.add(latency)
+        per_side = self._stream_by_side.get(side)
+        if per_side is None:
+            per_side = self._stream_by_side[side] = StreamingSummary()
+        per_side.add(latency)
+
+    def record_invalidation_total(self, latency: float) -> None:
+        """Streaming-mode record of one invalidation (no event object)."""
+        if self.keep_events:
+            raise ValueError("record_invalidation_total requires keep_events=False")
+        self.invalidation_count += 1
+        self._stream_invalidation.add(latency)
 
     def latencies(self, side: Optional[NpfSide] = None) -> List[float]:
         return [

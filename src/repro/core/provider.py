@@ -101,10 +101,8 @@ class IoProvider:
                 hasattr(mr, "unmapped_vpns") and mr.unmapped_vpns(first_vpn, n_pages)
             )
             if needs_fault:
-                yield self.env.process(
-                    self.driver.service_fault(
-                        mr, first_vpn, n_pages, NpfSide.RECEIVE, channel.name
-                    )
+                yield self.driver.service_fault_async(
+                    mr, first_vpn, n_pages, NpfSide.RECEIVE, channel.name
                 )
             elif entry.injected is not None:
                 # Synthetic §6.4 fault: wait out the (shared) resolution

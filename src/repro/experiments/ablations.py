@@ -70,9 +70,7 @@ def cell_batching(batch: bool) -> dict:
         vpn = region.vpns()[0]
         while mr.unmapped_vpns(vpn, n_pages):
             first = mr.unmapped_vpns(vpn, n_pages)[0]
-            yield env.process(
-                driver.service_fault(mr, first, n_pages, NpfSide.SEND)
-            )
+            yield driver.service_fault_async(mr, first, n_pages, NpfSide.SEND)
 
     env.run(env.process(cold_send()))
     return {"faults": driver.log.npf_count, "total_ms": env.now / ms}
@@ -117,10 +115,8 @@ def cell_firmware_bypass(bypass: bool) -> float:
     region = space.mmap(16 * PAGE_SIZE)
     mr = driver.register_odp(space, region)
     procs = [
-        env.process(
-            driver.service_fault(mr, region.vpns()[0], 16,
-                                 NpfSide.RECEIVE, "qp0")
-        )
+        driver.service_fault_async(mr, region.vpns()[0], 16,
+                                   NpfSide.RECEIVE, "qp0")
         for _ in range(16)
     ]
     env.run(env.all_of(procs))
@@ -165,16 +161,12 @@ def cell_concurrent_classes(classes: bool) -> float:
     mr = driver.register_odp(space, region)
     vpns = list(region.vpns())
     procs = [
-        env.process(driver.service_fault(mr, vpns[0], 2, NpfSide.SEND, "qp0")),
-        env.process(driver.service_fault(mr, vpns[2], 2, NpfSide.RECEIVE, "qp0")),
-        env.process(
-            driver.service_fault(mr, vpns[4], 2,
-                                 NpfSide.RDMA_READ_INITIATOR, "qp0")
-        ),
-        env.process(
-            driver.service_fault(mr, vpns[6], 2,
-                                 NpfSide.RDMA_WRITE_RESPONDER, "qp0")
-        ),
+        driver.service_fault_async(mr, vpns[0], 2, NpfSide.SEND, "qp0"),
+        driver.service_fault_async(mr, vpns[2], 2, NpfSide.RECEIVE, "qp0"),
+        driver.service_fault_async(mr, vpns[4], 2,
+                                   NpfSide.RDMA_READ_INITIATOR, "qp0"),
+        driver.service_fault_async(mr, vpns[6], 2,
+                                   NpfSide.RDMA_WRITE_RESPONDER, "qp0"),
     ]
     env.run(env.all_of(procs))
     return env.now / us

@@ -47,11 +47,8 @@ def cell_npf(label: str, size: int, samples: int, seed: int,
     def faults():
         for i in range(samples):
             vpn = base_vpn + (i % 2) * n_pages
-            yield env.process(
-                driver.service_fault(mr, vpn, n_pages, NpfSide.SEND)
-            )
-            for v in range(vpn, vpn + n_pages):
-                driver.invalidate(mr, v)
+            yield driver.service_fault_async(mr, vpn, n_pages, NpfSide.SEND)
+            driver.invalidate_range(mr, vpn, n_pages)
 
     env.run(env.process(faults()))
     if logs is not None:
@@ -81,8 +78,8 @@ def cell_invalidation(label: str, premap: bool, samples: int, seed: int,
     mr = driver.register_odp(space, region)
     if premap:
         env.run(env.process(driver.prefault(mr, region.base, region.size)))
-    for vpn in region.vpns():
-        driver.invalidate(mr, vpn)
+    vpns = region.vpns()
+    driver.invalidate_range(mr, vpns[0], len(vpns))
     if logs is not None:
         logs.append(driver.log)
     events = driver.log.invalidation_events

@@ -75,9 +75,7 @@ def _steady_overhead_us(strategy: str) -> float:
         for i in range(ops):
             addr, size = buffers[i % len(buffers)]
             if mr.unmapped_vpns(addr >> 12, 16):
-                yield env.process(
-                    driver.service_fault(mr, addr >> 12, 16, NpfSide.SEND)
-                )
+                yield driver.service_fault_async(mr, addr >> 12, 16, NpfSide.SEND)
 
     env.run(env.process(run_ops()))  # warm-up: every buffer faults once
     t0 = env.now
@@ -112,7 +110,7 @@ def _can_overcommit(strategy: str) -> bool:
 
         def touch_all():
             for vpn in region.vpns():
-                yield env.process(driver.service_fault(mr, vpn, 1, NpfSide.SEND))
+                yield driver.service_fault_async(mr, vpn, 1, NpfSide.SEND)
 
         env.run(env.process(touch_all()))
         return True

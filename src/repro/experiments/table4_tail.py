@@ -44,12 +44,9 @@ def cell_tail(label: str, size: int, samples: int, seed: int) -> dict:
     def faults():
         for i in range(samples):
             vpn = base_vpn + (i % 2) * n_pages
-            yield env.process(
-                driver.service_fault(mr, vpn, n_pages, NpfSide.SEND)
-            )
+            yield driver.service_fault_async(mr, vpn, n_pages, NpfSide.SEND)
             # Unmap again so every iteration is a fresh minor fault.
-            for v in range(vpn, vpn + n_pages):
-                driver.invalidate(mr, v)
+            driver.invalidate_range(mr, vpn, n_pages)
 
     env.run(env.process(faults()))
     latencies = [e.latency for e in driver.log.npf_events if e.n_pages > 0]

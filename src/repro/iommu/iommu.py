@@ -168,8 +168,20 @@ class Iommu:
     def map(self, domain_id: int, iopn: int, frame: int) -> None:
         self._domains[domain_id].map(iopn, frame)
 
-    def map_batch(self, domain_id: int, entries: Dict[int, int]) -> None:
+    def map_batch(self, domain_id: int, entries: Dict[int, int],
+                  warm_iotlb: bool = False) -> None:
+        """Install a batch of PTEs in one driver->NIC update.
+
+        ``warm_iotlb=True`` additionally pre-loads the freshly installed
+        translations into the IOTLB with one coalesced fill (the NIC just
+        resolved a fault for exactly these pages and is about to DMA
+        through them).  Off by default: warming changes IOTLB contents,
+        and the calibrated experiment outputs assume cold post-fault
+        translations.
+        """
         self._domains[domain_id].map_batch(entries)
+        if warm_iotlb and entries:
+            self.iotlb.fill_batch(domain_id, entries)
 
     def unmap(self, domain_id: int, iopn: int) -> bool:
         """Remove the PTE and shoot down the IOTLB entry.

@@ -51,6 +51,25 @@ class Iotlb:
         while len(cache) > self.capacity:
             cache.popitem(last=False)
 
+    def fill_batch(self, domain_id: int, entries) -> None:
+        """Insert a batch of ``{iopn: frame}`` translations (one coalesced
+        fill per NPF batch) with a single capacity trim at the end.
+
+        The final cache contents, order and capacity are identical to
+        calling :meth:`fill` once per page in iteration order: the LRU
+        keeps the last ``capacity`` insertions either way.
+        """
+        cache = self._cache
+        move = cache.move_to_end
+        for iopn, frame in entries.items():
+            key = (domain_id, iopn)
+            if key in cache:
+                move(key)
+            cache[key] = frame
+        capacity = self.capacity
+        while len(cache) > capacity:
+            cache.popitem(last=False)
+
     def invalidate(self, domain_id: int, iopn: int) -> bool:
         """Shoot down one cached translation; returns whether it was cached."""
         self.invalidations += 1

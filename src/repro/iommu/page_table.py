@@ -38,9 +38,23 @@ class IoPageTable:
             _hooks.active.on_pt_map(self, iopn, frame)
 
     def map_batch(self, entries: Dict[int, int]) -> None:
-        """Install many translations at once (the paper's batched update)."""
-        for iopn, frame in entries.items():
-            self.map(iopn, frame)
+        """Install many translations at once (the paper's batched update).
+
+        One validation sweep and one dict merge for the whole range; falls
+        back to the per-page :meth:`map` loop when the DMA sanitizer is
+        active so every install is individually checked.  Final page-table
+        state and the ``maps`` counter are identical either way.
+        """
+        if _hooks.active is not None:
+            for iopn, frame in entries.items():
+                self.map(iopn, frame)
+            return
+        if entries:
+            if min(entries.values()) < 0:
+                bad = next(f for f in entries.values() if f < 0)
+                raise ValueError(f"invalid frame {bad!r}")
+            self._entries.update(entries)
+            self.maps += len(entries)
 
     def unmap(self, iopn: int) -> bool:
         """Remove a translation; returns whether it was present."""
@@ -77,6 +91,14 @@ class IoPageTable:
 
     def is_mapped(self, iopn: int) -> bool:
         return iopn in self._entries
+
+    def all_mapped(self, iopn: int, n_pages: int) -> bool:
+        """True iff every page of ``[iopn, iopn+n_pages)`` has a translation."""
+        entries = self._entries
+        for p in range(iopn, iopn + n_pages):
+            if p not in entries:
+                return False
+        return True
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -55,6 +55,25 @@ class SwapDevice:
         self.reads += 1
         return self.read_latency(1)
 
+    def load_batch(self, pairs) -> float:
+        """Read a batch of ``(asid, vpn)`` pages back in one burst.
+
+        The batched fault-service pipeline's bulk page-in: a single seek
+        covers the whole batch, each page then pays transfer only —
+        versus :meth:`load` charging a full seek per page.  Returns the
+        total latency to charge; ``reads`` still counts pages.
+        """
+        slots = self._slots
+        n = 0
+        for asid, vpn in pairs:
+            key = (asid, vpn)
+            if key not in slots:
+                raise KeyError(f"page (asid={asid}, vpn={vpn}) not in swap")
+            slots.remove(key)
+            n += 1
+        self.reads += n
+        return self.read_latency(n) if n else 0.0
+
     def discard(self, asid: int, vpn: int) -> None:
         """Drop a swapped page without reading it (space teardown)."""
         self._slots.discard((asid, vpn))
@@ -62,6 +81,10 @@ class SwapDevice:
     # -- latency model ------------------------------------------------------
     def read_latency(self, n_pages: int) -> float:
         return self.seek_time + (n_pages * self.page_size) / self.bandwidth
+
+    def read_transfer_latency(self, n_pages: int) -> float:
+        """Transfer-only read time (burst continuation, seek already paid)."""
+        return (n_pages * self.page_size) / self.bandwidth
 
     def write_latency(self, n_pages: int) -> float:
         # Writebacks are asynchronous on real systems; charge transfer only.

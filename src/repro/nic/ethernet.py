@@ -117,10 +117,8 @@ class EthChannel:
                 first_vpn = src_addr >> PAGE_SHIFT
                 n_pages = pages_for(src_size) or 1
                 if self.mr.unmapped_vpns(first_vpn, n_pages):
-                    yield self.env.process(
-                        self.nic.driver_service_fault(
-                            self.mr, first_vpn, n_pages, NpfSide.SEND, self.name
-                        )
+                    yield self.nic.driver_service_fault(
+                        self.mr, first_vpn, n_pages, NpfSide.SEND, self.name
                     )
                 else:
                     self._touch_lru(src_addr, src_size)
@@ -171,14 +169,12 @@ class EthChannel:
     def _buffer_present(self, descriptor: RxDescriptor) -> bool:
         first = descriptor.buffer_addr >> PAGE_SHIFT
         n_pages = pages_for(descriptor.buffer_size) or 1
-        domain = self.mr.domain
-        return all(domain.is_mapped(first + i) for i in range(n_pages))
+        return self.mr.domain.all_mapped(first, n_pages)
 
     def _touch_lru(self, addr: int, size: int) -> None:
         # DMA'd pages count as accessed for the OS LRU.
         first = addr >> PAGE_SHIFT
-        for i in range(pages_for(size) or 1):
-            self.nic.memory_lru_touch(self.mr, first + i)
+        self.nic.memory_lru_touch_range(self.mr, first, pages_for(size) or 1)
 
     def _handle_rnpf(self, packet: Packet, descriptor: RxDescriptor,
                      injected: Optional[str] = None) -> None:
@@ -206,10 +202,8 @@ class EthChannel:
 
     def _background_resolve(self, first_vpn: int, n_pages: int):
         try:
-            yield self.env.process(
-                self.nic.driver_service_fault(
-                    self.mr, first_vpn, n_pages, NpfSide.RECEIVE, self.name
-                )
+            yield self.nic.driver_service_fault(
+                self.mr, first_vpn, n_pages, NpfSide.RECEIVE, self.name
             )
         finally:
             self._drop_faults_pending.discard(first_vpn)
@@ -306,7 +300,11 @@ class EthernetNic:
     def driver_service_fault(self, mr, vpn, n_pages, side, channel_name):
         if self.driver is None:
             raise RuntimeError("NPF without an attached driver")
-        return self.driver.service_fault(mr, vpn, n_pages, side, channel_name)
+        return self.driver.service_fault_async(mr, vpn, n_pages, side, channel_name)
 
     def memory_lru_touch(self, mr: MemoryRegion, vpn: int) -> None:
         mr.space.memory._lru_touch(mr.space.asid, vpn)
+
+    def memory_lru_touch_range(self, mr: MemoryRegion, first_vpn: int,
+                               n_pages: int) -> None:
+        mr.space.memory._lru_touch_range(mr.space.asid, first_vpn, n_pages)

@@ -157,10 +157,8 @@ class QueuePair:
             n_pages = pages_for(wr.length) or 1
             if mr.unmapped_vpns(first, n_pages):
                 self.send_faults += 1
-                yield self.env.process(
-                    self.nic.driver.service_fault(
-                        mr, first, n_pages, NpfSide.SEND, self.name
-                    )
+                yield self.nic.driver.service_fault_async(
+                    mr, first, n_pages, NpfSide.SEND, self.name
                 )
 
     def _complete_send(self, message: IbMessage,
@@ -273,10 +271,8 @@ class QueuePair:
             first = message.remote_addr >> PAGE_SHIFT
             n_pages = pages_for(message.length) or 1
             if mr.unmapped_vpns(first, n_pages):
-                yield self.env.process(
-                    self.nic.driver.service_fault(
-                        mr, first, n_pages, NpfSide.SEND, self.name
-                    )
+                yield self.nic.driver.service_fault_async(
+                    mr, first, n_pages, NpfSide.SEND, self.name
                 )
         response = IbMessage(
             qp_id=self.remote.qp_id, opcode=Opcode.RDMA_READ,
@@ -387,10 +383,8 @@ class QueuePair:
                          side: NpfSide):
         if fault == "real":
             first = addr >> PAGE_SHIFT
-            yield self.env.process(
-                self.nic.driver.service_fault(
-                    mr, first, pages_for(message.length) or 1, side, self.name
-                )
+            yield self.nic.driver.service_fault_async(
+                mr, first, pages_for(message.length) or 1, side, self.name
             )
         elif fault in ("minor", "major"):
             # Injected fault: charge the calibrated resolution time.

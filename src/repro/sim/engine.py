@@ -517,8 +517,47 @@ class Environment:
         heappush(self._heap, (self._now + delay, tie, ev))
         return ev
 
+    def after(self, delay: float, callback: Callable[["Event"], None]) -> Timeout:
+        """:meth:`timeout` with the single waiter pre-bound.
+
+        Identical heap tuple and Timeout fields to ``t = timeout(d);
+        t.callbacks = cb`` — one construction, no re-assignment.  Used by
+        the NPF callback pipeline, which schedules one of these per
+        phase; callers pass non-negative delays.
+        """
+        ev = _new_timeout(Timeout)
+        ev.callbacks = callback
+        ev._value = None
+        ev._ok = True
+        ev._state = _TRIGGERED
+        ev.delay = delay
+        tie = self._counter + 1
+        self._counter = tie
+        heappush(self._heap, (self._now + delay, tie, ev))
+        return ev
+
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
+
+    def defer(self, callback: Callable[[Event], None], value: Any = None) -> Event:
+        """Schedule ``callback(event)`` at the current time (one heap push).
+
+        The callback runs after every event already queued at this
+        timestamp — the same FIFO bootstrap a fresh :class:`Process`
+        gets, without the generator machinery.  Entry hook for
+        callback-driven pipelines (``NpfDriver.service_fault_async``);
+        field-for-field identical to ``Process._schedule_resume``'s hook.
+        """
+        ev = Event.__new__(Event)
+        ev.env = self
+        ev.callbacks = callback  # single waiter, stored bare
+        ev._value = value
+        ev._ok = True
+        ev._state = _TRIGGERED
+        ev._defused = True
+        self._counter += 1
+        heappush(self._heap, (self._now, self._counter, ev))
+        return ev
 
     def any_of(self, events: Iterable[Event]) -> Event:
         return any_of(self, events)

@@ -10,11 +10,19 @@ from __future__ import annotations
 
 import random
 import zlib
+from math import exp as _exp, sqrt as _sqrt
 from typing import Sequence, TypeVar
 
-__all__ = ["Rng"]
+__all__ = ["Rng", "NV_MAGICCONST"]
 
 T = TypeVar("T")
+
+#: Kinderman-Monahan rejection constant, exactly as CPython's
+#: ``random.NV_MAGICCONST``.  Hot paths that inline
+#: ``Random.lognormvariate`` (to skip two method-call levels while
+#: consuming the identical uniform stream) use this from here so no
+#: module imports from global ``random`` state.
+NV_MAGICCONST = 4 * _exp(-0.5) / _sqrt(2.0)
 
 
 class Rng:

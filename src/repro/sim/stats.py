@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "percentile",
@@ -75,82 +75,148 @@ class P2Quantile:
     thereafter.  Accuracy is more than sufficient for latency
     percentiles in benchmark/streaming mode — exact percentiles remain
     available from :class:`Summary` when events are retained.
+
+    All marker state lives in scalar slots (no per-add list traffic):
+    heights ``h0..h4``, interior positions ``n1..n3`` (``positions[0]``
+    is pinned at 1 and ``positions[4]`` always equals the sample count),
+    interior desired positions ``d1..d3`` accumulated with the constant
+    increments ``i1..i3``.  The arithmetic — interval search, position
+    and desired updates, parabolic adjustment with linear fallback — is
+    the classic formulation evaluated in the same order, so estimates
+    are bit-identical to the list-based version this replaces.
     """
 
-    __slots__ = ("p", "_heights", "_positions", "_desired", "_increments", "_count")
+    __slots__ = (
+        "p", "_boot", "_count",
+        "_h0", "_h1", "_h2", "_h3", "_h4",
+        "_n1", "_n2", "_n3",
+        "_d1", "_d2", "_d3",
+        "_i1", "_i2", "_i3",
+    )
 
     def __init__(self, p: float):
         if not 0.0 < p < 1.0:
             raise ValueError(f"quantile must be in (0, 1): {p!r}")
         self.p = p
-        self._heights: List[float] = []
-        self._positions = [1, 2, 3, 4, 5]
-        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
-        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self._boot: Optional[List[float]] = []
         self._count = 0
+        self._h0 = self._h1 = self._h2 = self._h3 = self._h4 = 0.0
+        self._n1, self._n2, self._n3 = 2, 3, 4
+        self._d1 = 1.0 + 2.0 * p
+        self._d2 = 1.0 + 4.0 * p
+        self._d3 = 3.0 + 2.0 * p
+        self._i1 = p / 2.0
+        self._i2 = p
+        self._i3 = (1.0 + p) / 2.0
 
     def add(self, x: float) -> None:
-        self._count += 1
-        heights = self._heights
-        if len(heights) < 5:
-            heights.append(x)
-            heights.sort()
+        count = self._count + 1
+        self._count = count
+        if count <= 5:
+            boot = self._boot
+            boot.append(x)
+            boot.sort()
+            if count == 5:
+                self._h0, self._h1, self._h2, self._h3, self._h4 = boot
+                self._boot = None
             return
+        h0 = self._h0
+        h1 = self._h1
+        h2 = self._h2
+        h3 = self._h3
+        h4 = self._h4
         # Find the marker interval containing x, clamping the extremes.
-        if x < heights[0]:
-            heights[0] = x
+        if x < h0:
+            h0 = self._h0 = x
             k = 0
-        elif x >= heights[4]:
-            heights[4] = x
+        elif x >= h4:
+            h4 = self._h4 = x
             k = 3
-        else:
+        elif x < h1:
             k = 0
-            while x >= heights[k + 1]:
-                k += 1
-        positions = self._positions
-        for i in range(k + 1, 5):
-            positions[i] += 1
-        desired = self._desired
-        for i in range(5):
-            desired[i] += self._increments[i]
+        elif x < h2:
+            k = 1
+        elif x < h3:
+            k = 2
+        else:
+            k = 3
+        n1 = self._n1
+        n2 = self._n2
+        n3 = self._n3
+        if k < 3:
+            n3 += 1
+            if k < 2:
+                n2 += 1
+                if k < 1:
+                    n1 += 1
+        n4 = count  # positions[4] tracks the sample count exactly
+        d1 = self._d1 = self._d1 + self._i1
+        d2 = self._d2 = self._d2 + self._i2
+        d3 = self._d3 = self._d3 + self._i3
         # Adjust the three interior markers with parabolic interpolation,
         # falling back to linear when the parabola leaves the interval.
-        for i in (1, 2, 3):
-            n = positions[i]
-            d = desired[i] - n
-            if (d >= 1.0 and positions[i + 1] - n > 1) or (
-                d <= -1.0 and positions[i - 1] - n < -1
-            ):
-                step = 1 if d >= 1.0 else -1
-                q = heights[i]
-                qp = heights[i + 1]
-                qm = heights[i - 1]
-                np_ = positions[i + 1]
-                nm = positions[i - 1]
-                parabolic = q + step / (np_ - nm) * (
-                    (n - nm + step) * (qp - q) / (np_ - n)
-                    + (np_ - n - step) * (q - qm) / (n - nm)
-                )
-                if qm < parabolic < qp:
-                    heights[i] = parabolic
-                else:
-                    heights[i] = q + step * (
-                        (heights[i + step] - q) / (positions[i + step] - n)
-                    )
-                positions[i] = n + step
+        # Marker i reads marker i-1's already-updated height/position.
+        d = d1 - n1
+        if (d >= 1.0 and n2 - n1 > 1) or (d <= -1.0 and 1 - n1 < -1):
+            step = 1 if d >= 1.0 else -1
+            parabolic = h1 + step / (n2 - 1) * (
+                (n1 - 1 + step) * (h2 - h1) / (n2 - n1)
+                + (n2 - n1 - step) * (h1 - h0) / (n1 - 1)
+            )
+            if h0 < parabolic < h2:
+                h1 = parabolic
+            elif step == 1:
+                h1 = h1 + step * ((h2 - h1) / (n2 - n1))
+            else:
+                h1 = h1 + step * ((h0 - h1) / (1 - n1))
+            n1 += step
+        d = d2 - n2
+        if (d >= 1.0 and n3 - n2 > 1) or (d <= -1.0 and n1 - n2 < -1):
+            step = 1 if d >= 1.0 else -1
+            parabolic = h2 + step / (n3 - n1) * (
+                (n2 - n1 + step) * (h3 - h2) / (n3 - n2)
+                + (n3 - n2 - step) * (h2 - h1) / (n2 - n1)
+            )
+            if h1 < parabolic < h3:
+                h2 = parabolic
+            elif step == 1:
+                h2 = h2 + step * ((h3 - h2) / (n3 - n2))
+            else:
+                h2 = h2 + step * ((h1 - h2) / (n1 - n2))
+            n2 += step
+        d = d3 - n3
+        if (d >= 1.0 and n4 - n3 > 1) or (d <= -1.0 and n2 - n3 < -1):
+            step = 1 if d >= 1.0 else -1
+            parabolic = h3 + step / (n4 - n2) * (
+                (n3 - n2 + step) * (h4 - h3) / (n4 - n3)
+                + (n4 - n3 - step) * (h3 - h2) / (n3 - n2)
+            )
+            if h2 < parabolic < h4:
+                h3 = parabolic
+            elif step == 1:
+                h3 = h3 + step * ((h4 - h3) / (n4 - n3))
+            else:
+                h3 = h3 + step * ((h2 - h3) / (n2 - n3))
+            n3 += step
+        self._h1 = h1
+        self._h2 = h2
+        self._h3 = h3
+        self._n1 = n1
+        self._n2 = n2
+        self._n3 = n3
 
     @property
     def count(self) -> int:
         return self._count
 
     def value(self) -> float:
-        heights = self._heights
-        if not heights:
+        count = self._count
+        if not count:
             raise ValueError("quantile of empty sample set")
-        if len(heights) < 5:
+        if count < 5:
             # Fewer than five samples: exact interpolated percentile.
-            return percentile(heights, self.p * 100.0)
-        return heights[2]
+            return percentile(self._boot, self.p * 100.0)
+        return self._h2
 
 
 class StreamingSummary:

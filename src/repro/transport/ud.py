@@ -86,11 +86,8 @@ class UdEndpoint:
             if mr.unmapped_vpns(first, n_pages):
                 # Resolve in the background either way; the datagram's
                 # fate depends on whether a backup buffer exists.
-                self.env.process(
-                    self.nic.driver.service_fault(
-                        mr, first, n_pages, NpfSide.RECEIVE, f"ud{self.ud_id}"
-                    ),
-                    name=f"ud{self.ud_id}-npf",
+                self.nic.driver.service_fault_async(
+                    mr, first, n_pages, NpfSide.RECEIVE, f"ud{self.ud_id}"
                 )
                 if self.buffered_fallback:
                     self.env.process(self._redeliver_later(datagram),
