@@ -4,14 +4,20 @@ export PYTHONPATH := src
 ## Worker processes for the parallel experiment engine.
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: test lint sanitize bench bench-quick bench-quick-record \
-        bench-experiments profile experiments
+## Scenario count for the long-running `make fuzz` campaign.
+FUZZ_N ?= 5000
+## Master seed for fuzz campaigns (fuzz-smoke pins its own).
+FUZZ_SEED ?= 3405691582
 
-## Lint + bench smoke + full test suite.  tests/test_experiments_runner.py
-## includes the parallel-equals-sequential smoke check for the experiment
-## engine; bench-quick fails if a gated benchmark regresses below 0.9x of
-## its committed BENCH_substrate_quick.json throughput.
-test: lint bench-quick
+.PHONY: test lint sanitize bench bench-quick bench-quick-record \
+        bench-experiments profile experiments fuzz fuzz-smoke
+
+## Lint + bench smoke + fuzz smoke + full test suite.
+## tests/test_experiments_runner.py includes the parallel-equals-sequential
+## smoke check for the experiment engine; bench-quick fails if a gated
+## benchmark regresses below 0.9x of its committed
+## BENCH_substrate_quick.json throughput.
+test: lint bench-quick fuzz-smoke
 	$(PYTHON) -m pytest -x -q
 
 ## Determinism / DMA-invariant static analysis (tools/lint).
@@ -40,6 +46,16 @@ bench-quick-record:
 ## and warm-cache, verify byte-identical output -> BENCH_experiments.json.
 bench-experiments:
 	$(PYTHON) tools/bench_substrate.py --experiments --jobs $(JOBS)
+
+## Differential fuzz smoke: 200 scenarios under a pinned seed, sanitized,
+## NPF run vs. static-pinning oracle.  Any failure is shrunk to a replay
+## file under fuzz-failures/ (re-run it: python -m repro.fuzz replay <f>).
+fuzz-smoke:
+	$(PYTHON) -m repro.fuzz run --n 200 --seed 3405691582
+
+## Long campaign: make fuzz FUZZ_N=5000 [FUZZ_SEED=...]
+fuzz:
+	$(PYTHON) -m repro.fuzz run --n $(FUZZ_N) --seed $(FUZZ_SEED)
 
 ## cProfile over the micro-benchmarks; top-20 by cumulative time.
 profile:

@@ -28,5 +28,14 @@ from __future__ import annotations
 
 from . import hooks
 from .sanitizer import DmaSanitizer, SanitizerError, Violation
+from .verdicts import SanitizerVerdict, observe, sanitize_requested
 
-__all__ = ["DmaSanitizer", "SanitizerError", "Violation", "hooks"]
+__all__ = [
+    "DmaSanitizer",
+    "SanitizerError",
+    "SanitizerVerdict",
+    "Violation",
+    "hooks",
+    "observe",
+    "sanitize_requested",
+]

@@ -1,0 +1,57 @@
+"""Programmatic sanitizer verdicts (used by the scenario fuzzer).
+
+The conftest fixture turns DMAsan violations into test failures; tools
+that run *many* sanitized simulations in one process — the differential
+fuzzer, sweep harnesses — instead want a per-run verdict object they can
+inspect, serialize into a failure report, and shrink against.  ``observe``
+provides exactly that: a fresh :class:`DmaSanitizer` installed for the
+body, with the outcome collected into a :class:`SanitizerVerdict` rather
+than raised.  It nests safely inside an outer ``hooks.session`` (the
+outer observer is restored on exit and never sees the inner events).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from . import hooks
+from .sanitizer import DmaSanitizer
+
+__all__ = ["SanitizerVerdict", "observe", "sanitize_requested"]
+
+
+def sanitize_requested() -> bool:
+    """True when the environment asks for sanitized runs (``REPRO_SANITIZE=1``)."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+@dataclass
+class SanitizerVerdict:
+    """The outcome of one sanitized run, safe to consume programmatically."""
+
+    clean: bool = True
+    violations: List[str] = field(default_factory=list)
+    summary: str = "DMAsan: no violations"
+
+
+@contextmanager
+def observe(strict: bool = False) -> Iterator[SanitizerVerdict]:
+    """Run the body under a fresh sanitizer; fill the yielded verdict.
+
+    Never raises on violations (unless ``strict``, which is the
+    sanitizer's own fail-fast mode): the caller reads ``verdict.clean`` /
+    ``verdict.violations`` after the block and decides what failure means.
+    """
+    verdict = SanitizerVerdict()
+    san = DmaSanitizer(strict=strict)
+    with hooks.session(san):
+        try:
+            yield verdict
+        finally:
+            san.final_check()
+            verdict.violations = [str(v) for v in san.violations]
+            verdict.clean = not san.violations
+            verdict.summary = san.summary()

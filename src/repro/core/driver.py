@@ -180,6 +180,11 @@ class _FaultOp:
                 self.pages, swap_burst=driver.swap_burst
             )
             swap_latency = batch.swap_extra
+            inject = driver.inject
+            if inject is not None:
+                swap_latency += inject.extra_fault_latency(
+                    self.channel, self.side, len(self.pages)
+                )
             self.swap_latency = swap_latency
             self.majors = batch.majors
             driver_time = costs.os_batch_time(len(self.pages)) + batch.evict_extra
@@ -325,6 +330,12 @@ class NpfDriver:
         self.swap_burst = swap_burst
         self.warm_iotlb = warm_iotlb
         self.coalesced_faults = 0
+        #: Optional fault-injection hook (duck-typed; the scenario fuzzer
+        #: installs one to model arbitrarily slow resolutions).  When set,
+        #: ``extra_fault_latency(channel, side, n_pages) -> float`` is added
+        #: to the fault's OS-phase latency.  ``None`` — the default
+        #: everywhere outside fuzzing — costs one attribute load per fault.
+        self.inject = None
         # One in-flight fault per (channel, side) class; a single shared
         # slot per channel when class concurrency is disabled.
         self._slots: Dict[Tuple[str, object], Resource] = {}

@@ -1,0 +1,45 @@
+"""Differential scenario fuzzer for the NPF substrate.
+
+The paper's central claim is *transparency*: an IOuser running over NPF
+observes the same payloads, per-flow ordering and completion semantics
+as one running over statically pinned memory — only timing may differ
+(§4–§5, Figure 6 merge order, RNR NACK rewind).  This package searches
+for violations of that claim adversarially:
+
+* :mod:`.scenario` — a JSON-serializable scenario model: channels
+  (Ethernet / IB RC / UD), traffic ops, environment ops (invalidation
+  storms, swap pressure) and a fault-injection plan;
+* :mod:`.generate` — a seeded generator (child streams derived with
+  :func:`repro.sim.rng.derive_seed`, so scenario *i* of master seed *s*
+  is reproducible forever);
+* :mod:`.executor` — builds a fresh testbed per scenario and replays its
+  ops, recording an IOuser-visible :class:`~repro.fuzz.executor.Trace`;
+* :mod:`.oracle` — runs each non-degraded scenario twice (NPF config
+  vs. static-pinning oracle) and asserts differential equivalence;
+  degraded scenarios (drop policy, injected faults, tiny backup rings)
+  are instead checked against graceful-degradation invariants;
+* :mod:`.shrink` — greedy delta-debugging to a minimal reproducer,
+  serialized as a replay file for ``python -m repro.fuzz replay``.
+
+Run via ``make fuzz-smoke`` / ``make fuzz FUZZ_N=5000`` or directly::
+
+    python -m repro.fuzz run --n 200 --seed 3405691582
+    python -m repro.fuzz replay fuzz-failures/fail-*.json
+"""
+
+from .generate import generate_scenario
+from .oracle import FuzzFailure, check_scenario, diff_traces
+from .scenario import ChannelSpec, FaultPlan, Op, Scenario
+from .shrink import shrink
+
+__all__ = [
+    "ChannelSpec",
+    "FaultPlan",
+    "FuzzFailure",
+    "Op",
+    "Scenario",
+    "check_scenario",
+    "diff_traces",
+    "generate_scenario",
+    "shrink",
+]

@@ -1,0 +1,131 @@
+"""Command-line front end: ``python -m repro.fuzz {run,replay}``.
+
+``run`` executes a seeded campaign; every failure is shrunk to a minimal
+reproducer and serialized as a replay file.  ``replay`` re-executes such
+a file and reports whether the failure still reproduces — the round trip
+that makes fuzzer findings actionable bug reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..sim.walltime import walltime
+from .generate import generate_scenario
+from .oracle import FuzzFailure, check_scenario
+from .scenario import Scenario
+from .shrink import shrink
+
+__all__ = ["main", "write_replay_file", "load_replay_file"]
+
+REPLAY_KIND = "repro-fuzz-failure"
+
+
+def write_replay_file(path: str, sc: Scenario, failure: FuzzFailure,
+                      evals: int = 0) -> None:
+    payload = {
+        "version": 1,
+        "kind": REPLAY_KIND,
+        "failure": {"kind": failure.kind, "details": failure.details},
+        "shrink_evals": evals,
+        "scenario": sc.to_dict(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+
+
+def load_replay_file(path: str) -> Scenario:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("kind") != REPLAY_KIND:
+        raise ValueError(f"{path}: not a {REPLAY_KIND} file")
+    return Scenario.from_dict(payload["scenario"])
+
+
+def _cmd_run(args) -> int:
+    started = walltime()
+    failures = 0
+    for i in range(args.start, args.start + args.n):
+        sc = generate_scenario(i, args.seed, profile=args.profile)
+        failure = check_scenario(sc)
+        if failure is None:
+            if (i - args.start + 1) % 50 == 0:
+                print(
+                    f"[fuzz] {i - args.start + 1}/{args.n} scenarios ok "
+                    f"({walltime() - started:.1f}s)",
+                    file=sys.stderr,
+                )
+            continue
+        failures += 1
+        print(f"[fuzz] scenario {i} (seed {sc.seed}) FAILED: {failure.kind}",
+              file=sys.stderr)
+        minimal, min_failure, evals = shrink(sc, max_evals=args.shrink_evals)
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"fail-s{args.seed}-i{i}.json")
+        write_replay_file(path, minimal, min_failure or failure, evals)
+        print(
+            f"[fuzz] shrunk to {len(minimal.ops)} op(s) / "
+            f"{len(minimal.channels)} channel(s) in {evals} eval(s) -> {path}",
+            file=sys.stderr,
+        )
+        print((min_failure or failure).describe(), file=sys.stderr)
+        if failures >= args.max_failures:
+            print(f"[fuzz] stopping after {failures} failure(s)",
+                  file=sys.stderr)
+            break
+    elapsed = walltime() - started
+    print(
+        f"[fuzz] {args.n} scenario(s), {failures} failure(s), "
+        f"{elapsed:.1f}s",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+def _cmd_replay(args) -> int:
+    sc = load_replay_file(args.file)
+    failure = check_scenario(sc)
+    if failure is not None:
+        print(f"[fuzz] reproduced: {failure.kind}", file=sys.stderr)
+        print(failure.describe(), file=sys.stderr)
+        return 0
+    print("[fuzz] did NOT reproduce (scenario passed)", file=sys.stderr)
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential scenario fuzzer for the NPF substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a seeded fuzz campaign")
+    run.add_argument("--n", type=int, default=200,
+                     help="number of scenarios (default 200)")
+    run.add_argument("--seed", type=int, default=0xCAFEF00D,
+                     help="campaign master seed")
+    run.add_argument("--start", type=int, default=0,
+                     help="first scenario index (parallel sharding)")
+    run.add_argument("--profile", default="mixed",
+                     choices=("mixed", "eth-backup"),
+                     help="scenario space to draw from")
+    run.add_argument("--out", default="fuzz-failures",
+                     help="directory for replay files (default fuzz-failures)")
+    run.add_argument("--max-failures", type=int, default=5,
+                     help="stop after this many failures (default 5)")
+    run.add_argument("--shrink-evals", type=int, default=250,
+                     help="max scenario executions per shrink (default 250)")
+    run.set_defaults(func=_cmd_run)
+
+    replay = sub.add_parser("replay", help="re-execute a replay file")
+    replay.add_argument("file", help="replay JSON written by a fuzz run")
+    replay.set_defaults(func=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

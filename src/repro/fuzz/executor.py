@@ -1,0 +1,554 @@
+"""Scenario execution: build a testbed, replay the ops, record a Trace.
+
+The executor is deterministic given a scenario: all randomness lives in
+the generator (scenario content) and in the substrate's own seeded cost
+streams, which are re-created identically for every run.  A
+:class:`Trace` captures only what an IOuser can observe — delivered
+payload tokens per flow, completion opcode/length/status sequences,
+counter snapshots at op barriers — plus uncompared ``meta`` diagnostics
+for failure reports.
+
+Payload identity is modelled with tokens: every fuzz packet carries
+``("tok", flow, seq)`` and the receive handlers append ``seq`` to the
+flow's delivered list, so "identical payload bytes and per-flow order"
+reduces to list equality.  Work-request ids never enter the trace (they
+come from process-global counters and would differ between runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.verdicts import observe
+from ..core.pin_down_cache import PinDownCache
+from ..host.host import EthernetHost
+from ..host.ib import ib_pair
+from ..net.fabric import connect_back_to_back
+from ..net.packet import Packet
+from ..nic.ethernet import RxMode
+from ..sim.engine import Environment
+from ..sim.rng import Rng, derive_seed
+from ..sim.units import Gbps, MB, PAGE_SHIFT, PAGE_SIZE, pages_for
+from ..transport.ud import UdEndpoint
+from ..transport.verbs import Opcode, RecvWr, SendWr
+from .scenario import Scenario
+
+__all__ = ["Trace", "run_scenario"]
+
+#: Sim-seconds a flush may wait for expected deliveries.  Differential
+#: scenarios are lossless by construction, so hitting the deadline there
+#: *is* the failure signal (missing tokens); degraded scenarios hit it
+#: routinely (dropped traffic) and just move on.
+_FLUSH_BUDGET = 5.0
+_FLUSH_BUDGET_DEGRADED = 1.5
+
+
+@dataclass
+class Trace:
+    """IOuser-visible outcome of one run (plus uncompared diagnostics)."""
+
+    flows: Dict[str, List[int]] = field(default_factory=dict)
+    sent: Dict[str, int] = field(default_factory=dict)
+    completions: Dict[str, List[list]] = field(default_factory=dict)
+    #: per-(channel, op) counter values at that op's flush barrier; keyed
+    #: (not listed) because cross-channel barrier order is timing
+    snapshots: Dict[str, list] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+    crashed: Optional[str] = None
+    sanitizer: List[str] = field(default_factory=list)
+
+    def compared(self) -> dict:
+        """The differential-equivalence surface (everything but meta)."""
+        return {
+            "flows": self.flows,
+            "sent": self.sent,
+            "completions": self.completions,
+            "snapshots": self.snapshots,
+            "counts": self.counts,
+        }
+
+
+class _Recorder:
+    """Collects delivered payload tokens, keyed by flow."""
+
+    __slots__ = ("flows",)
+
+    def __init__(self):
+        self.flows: Dict[str, List[int]] = {}
+
+    def handler(self, packet) -> None:
+        payload = packet.payload
+        if type(payload) is tuple and len(payload) == 3 and payload[0] == "tok":
+            self.flows.setdefault(payload[1], []).append(payload[2])
+
+
+class _DelayInjector:
+    """Driver hook: probabilistically delay NPF resolutions (FaultPlan)."""
+
+    __slots__ = ("rng", "p", "extra", "injected")
+
+    def __init__(self, rng: Rng, p: float, extra_s: float):
+        self.rng = rng
+        self.p = p
+        self.extra = extra_s
+        self.injected = 0
+
+    def extra_fault_latency(self, channel, side, n_pages) -> float:
+        if self.p >= 1.0 or self.rng.random() < self.p:
+            self.injected += 1
+            return self.extra
+        return 0.0
+
+
+def _wait_until(env: Environment, cond, budget: float):
+    """Poll with exponential backoff until ``cond()`` or the budget ends."""
+    deadline = env.now + budget
+    poll = 100e-6
+    while not cond() and env.now < deadline:
+        yield env.timeout(min(poll, max(deadline - env.now, 1e-9)))
+        if poll < 0.02:
+            poll *= 1.6
+
+
+def _make_injector(sc: Scenario) -> Optional[_DelayInjector]:
+    if sc.faults.delay_p > 0.0 and sc.faults.delay_ms > 0.0:
+        return _DelayInjector(
+            Rng(derive_seed(sc.seed, "inject"), name="inject"),
+            sc.faults.delay_p,
+            sc.faults.delay_ms * 1e-3,
+        )
+    return None
+
+
+def run_scenario(sc: Scenario, sanitize: bool = True) -> Trace:
+    """Execute one scenario and return its trace.
+
+    With ``sanitize`` the whole run happens under a fresh DMAsan
+    observer whose violations land in ``trace.sanitizer``.  Engine
+    exceptions are caught into ``trace.crashed`` — a crash is a finding
+    (and shrinkable), not a fuzzer error.
+    """
+    trace = Trace()
+    if sanitize:
+        with observe() as verdict:
+            _run_body(sc, trace)
+        trace.sanitizer = verdict.violations
+    else:
+        _run_body(sc, trace)
+    return trace
+
+
+def _run_body(sc: Scenario, trace: Trace) -> None:
+    try:
+        if sc.fabric == "eth":
+            _run_eth(sc, trace)
+        elif sc.fabric == "ib":
+            _run_ib(sc, trace)
+        else:
+            raise ValueError(f"unknown fabric {sc.fabric!r}")
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        trace.crashed = f"{type(exc).__name__}: {exc}"
+
+
+# ---------------------------------------------------------------------------
+# Ethernet
+# ---------------------------------------------------------------------------
+
+def _run_eth(sc: Scenario, trace: Trace) -> None:
+    env = Environment()
+    budget = _FLUSH_BUDGET_DEGRADED if sc.degraded else _FLUSH_BUDGET
+    server = EthernetHost(env, "server", memory_bytes=sc.memory_mb * MB,
+                          backup_size=sc.backup_size)
+    client = EthernetHost(env, "client", memory_bytes=256 * MB)
+    to_server, to_client = connect_back_to_back(
+        env, client, server, rate_bps=40 * Gbps, rate_b_to_a=12 * Gbps
+    )
+    to_server.rate_bps = 12 * Gbps
+    server.nic.attach_link(to_client)
+    client.nic.attach_link(to_server)
+
+    injector = None
+    if sc.mode == "npf":
+        server.driver.coalesce_faults = sc.coalesce_faults
+        server.driver.swap_burst = sc.swap_burst
+        server.driver.warm_iotlb = sc.warm_iotlb
+        injector = _make_injector(sc)
+        server.driver.inject = injector
+
+    if sc.mode == "npf":
+        rx_mode = RxMode.BACKUP if sc.rx_policy == "backup" else RxMode.DROP
+    else:
+        rx_mode = RxMode.PIN
+    pdc = (PinDownCache(server.driver, sc.pdc_capacity_pages * PAGE_SIZE)
+           if sc.mode == "pdc" else None)
+
+    rec = _Recorder()
+    users, cli_users, heaps = [], [], []
+    for i, spec in enumerate(sc.channels):
+        u = server.create_iouser(
+            f"u{i}", rx_mode, ring_size=spec.ring_size,
+            bm_size=spec.bm_factor * spec.ring_size,
+            buffer_size=spec.buffer_size,
+        )
+        c = client.create_iouser(f"c{i}", RxMode.PIN, ring_size=128)
+        u.channel.set_rx_handler(rec.handler)
+        c.channel.set_rx_handler(rec.handler)
+        heaps.append(u.mmap(spec.heap_pages * PAGE_SIZE, name=f"u{i}-heap",
+                            pinned=(sc.mode == "static")))
+        users.append(u)
+        cli_users.append(c)
+
+    def chan_ops(i, ops):
+        spec = sc.channels[i]
+        u, c, heap = users[i], cli_users[i], heaps[i]
+        for op in ops:
+            if op.kind == "burst":
+                flow = f"rx{i}"
+                base = trace.sent.get(flow, 0)
+                n = max(1, min(op.count, spec.ring_size))
+                size = max(1, min(op.size, spec.buffer_size))
+                for k in range(n):
+                    c.channel.send(Packet(
+                        src="client", dst="server", size=size, kind="fuzz",
+                        flow=flow, channel=f"u{i}",
+                        payload=("tok", flow, base + k),
+                    ))
+                    if op.gap_us > 0:
+                        yield env.timeout(op.gap_us * 1e-6)
+                trace.sent[flow] = base + n
+                target = base + n
+                yield from _wait_until(
+                    env, lambda: len(rec.flows.get(flow, ())) >= target, budget
+                )
+            elif op.kind == "send_back":
+                flow = f"tx{i}"
+                base = trace.sent.get(flow, 0)
+                size = max(1, min(op.size, PAGE_SIZE))
+                slots = max(1, (spec.heap_pages * PAGE_SIZE) // size)
+                for k in range(op.count):
+                    seq = base + k
+                    addr = heap.base + (seq % slots) * size
+                    pdc_key = None
+                    if pdc is not None:
+                        a0 = addr & ~(PAGE_SIZE - 1)
+                        n_bytes = (pages_for(addr + size - a0) or 1) * PAGE_SIZE
+                        pdc_key = (a0, n_bytes)
+                        _mr, lat = pdc.acquire(u.space, a0, n_bytes)
+                        if lat > 0:
+                            yield env.timeout(lat)
+                    u.channel.send(Packet(
+                        src="server", dst="client", size=size, kind="fuzz",
+                        flow=flow, channel=f"c{i}",
+                        payload=("tok", flow, seq),
+                    ), src_addr=addr, src_size=size)
+                    if pdc_key is not None:
+                        pdc.release(u.space, pdc_key[0], pdc_key[1])
+                    if op.gap_us > 0:
+                        yield env.timeout(op.gap_us * 1e-6)
+                trace.sent[flow] = base + op.count
+                target = base + op.count
+                yield from _wait_until(
+                    env, lambda: len(rec.flows.get(flow, ())) >= target, budget
+                )
+            elif op.kind == "invalidate":
+                if sc.mode == "npf":
+                    lat = _eth_invalidate(sc, server, u, heap, spec, op)
+                    yield env.timeout(max(lat, 1e-9))
+                else:
+                    yield env.timeout(1e-9)
+            elif op.kind == "settle":
+                yield env.timeout(op.ms * 1e-3)
+
+    _drive(env, sc, trace, chan_ops, server.memory)
+
+    for i, spec in enumerate(sc.channels):
+        u, c = users[i], cli_users[i]
+        trace.counts[f"u{i}.rx_packets"] = u.channel.rx_packets
+        trace.counts[f"u{i}.tx_packets"] = u.channel.tx_packets
+        trace.counts[f"c{i}.rx_packets"] = c.channel.rx_packets
+        trace.meta[f"u{i}.dropped_rnpf"] = u.channel.dropped_rnpf
+        trace.meta[f"u{i}.dropped_no_buffer"] = u.channel.dropped_no_buffer
+        stats = u.channel.ring.stats
+        trace.meta[f"u{i}.ring.faulted_to_backup"] = stats.faulted_to_backup
+        trace.meta[f"u{i}.ring.dropped_backup_full"] = stats.dropped_backup_full
+        trace.meta[f"u{i}.ring.dropped_bitmap_full"] = stats.dropped_bitmap_full
+        trace.meta[f"u{i}.ring.resolved"] = stats.resolved
+    ring = server.provider.backup_ring
+    trace.meta["backup.stored"] = ring.stored
+    trace.meta["backup.dropped"] = ring.dropped
+    trace.meta["backup.high_watermark"] = ring.high_watermark
+    trace.meta["provider.resolved_packets"] = server.provider.resolved_packets
+    if pdc is not None:
+        trace.meta["pdc.hits"] = pdc.stats.hits
+        trace.meta["pdc.misses"] = pdc.stats.misses
+        trace.meta["pdc.evictions"] = pdc.stats.evictions
+    _common_meta(trace, env, server.memory, injector)
+    trace.flows = rec.flows
+
+
+def _eth_invalidate(sc, server, u, heap, spec, op) -> float:
+    """MMU-notifier storm over the rx pool, the heap, or the ring's next
+    store target (the adversarial spot: it faults the packet in flight)."""
+    if op.target == "heap":
+        base_vpn = heap.base >> PAGE_SHIFT
+        span = spec.heap_pages
+    elif op.target == "next":
+        ring = u.channel.ring
+        desc = ring.descriptor_at(ring.store_target) if ring.has_descriptor() else None
+        addr = desc.buffer_addr if desc is not None else u.rx_pool.base
+        n = pages_for(spec.buffer_size) or 1
+        return server.driver.invalidate_range(u.mr, addr >> PAGE_SHIFT, n)
+    else:  # "pool"
+        base_vpn = u.rx_pool.base >> PAGE_SHIFT
+        span = pages_for(spec.ring_size * spec.buffer_size) or 1
+    off = min(op.offset, span - 1)
+    n = max(1, min(op.pages, span - off))
+    return server.driver.invalidate_range(u.mr, base_vpn + off, n)
+
+
+# ---------------------------------------------------------------------------
+# InfiniBand (RC + UD)
+# ---------------------------------------------------------------------------
+
+def _run_ib(sc: Scenario, trace: Trace) -> None:
+    env = Environment()
+    budget = _FLUSH_BUDGET_DEGRADED if sc.degraded else _FLUSH_BUDGET
+    a, b = ib_pair(env, memory_bytes=sc.memory_mb * MB)  # a=client, b=server
+    injector = None
+    if sc.mode == "npf":
+        injector = _make_injector(sc)
+        b.driver.inject = injector
+
+    chans = []
+    for i, spec in enumerate(sc.channels):
+        sspace = b.memory.create_space(f"srv{i}")
+        sregion = sspace.mmap(spec.heap_pages * PAGE_SIZE, name=f"srv{i}")
+        if sc.mode == "npf":
+            smr = b.driver.register_odp(sspace, sregion)
+        else:
+            smr = b.driver.register_pinned(sspace, sregion)
+        b.nic.register_mr(smr)
+        cspace = a.memory.create_space(f"cli{i}")
+        cregion = cspace.mmap(spec.heap_pages * PAGE_SIZE, name=f"cli{i}")
+        cmr = a.driver.register_pinned(cspace, cregion)
+        a.nic.register_mr(cmr)
+        ch = {"spec": spec, "sregion": sregion, "cregion": cregion,
+              "smr": smr, "cmr": cmr, "recv": 0, "msgs": 0, "send_cq_b": 0}
+        if spec.kind == "rc":
+            qa = a.nic.create_qp(max_outstanding=spec.max_outstanding)
+            qb = b.nic.create_qp(max_outstanding=spec.max_outstanding,
+                                 rnr_for_reads=spec.rnr_for_reads)
+            qa.connect(qb)
+            if sc.faults.rnr_limit > 0:
+                qa.MAX_RNR_RETRIES = sc.faults.rnr_limit
+                qb.MAX_RNR_RETRIES = sc.faults.rnr_limit
+            ch["qa"], ch["qb"] = qa, qb
+        else:
+            ch["ea"] = UdEndpoint(a.nic)
+            ch["eb"] = UdEndpoint(b.nic, buffered_fallback=spec.ud_buffered)
+        chans.append(ch)
+
+    def chan_ops(i, ops):
+        ch = chans[i]
+        spec = ch["spec"]
+        region_bytes = spec.heap_pages * PAGE_SIZE
+        for op_idx, op in enumerate(ops):
+            if op.kind in ("ib_send", "ib_write", "ib_read"):
+                qa, qb = ch["qa"], ch["qb"]
+                size = max(1, min(op.size, region_bytes // 2))
+                slots = max(1, region_bytes // size)
+                if op.kind == "ib_send":
+                    for k in range(op.count):
+                        addr = ch["sregion"].base + ((ch["recv"] + k) % slots) * size
+                        qb.post_recv(RecvWr(addr=addr, length=size, mr=ch["smr"]))
+                    for k in range(op.count):
+                        addr = ch["cregion"].base + (k % slots) * size
+                        qa.post_send(SendWr(opcode=Opcode.SEND, length=size,
+                                            local_addr=addr, mr=ch["cmr"]))
+                        if op.gap_us > 0:
+                            yield env.timeout(op.gap_us * 1e-6)
+                    ch["recv"] += op.count
+                    ch["msgs"] += op.count
+                    key = f"ib{i}.posted"
+                    trace.sent[key] = trace.sent.get(key, 0) + op.count
+                    target = ch["recv"]
+                    yield from _wait_until(
+                        env, lambda: qb.recv_cq.completions >= target, budget
+                    )
+                elif op.kind == "ib_write":
+                    for k in range(op.count):
+                        raddr = ch["sregion"].base + (k % slots) * size
+                        laddr = ch["cregion"].base + (k % slots) * size
+                        qa.post_send(SendWr(opcode=Opcode.RDMA_WRITE, length=size,
+                                            local_addr=laddr, mr=ch["cmr"],
+                                            remote_addr=raddr))
+                        if op.gap_us > 0:
+                            yield env.timeout(op.gap_us * 1e-6)
+                    ch["msgs"] += op.count
+                    key = f"ib{i}.posted"
+                    trace.sent[key] = trace.sent.get(key, 0) + op.count
+                    target = ch["msgs"]
+                    yield from _wait_until(
+                        env, lambda: qb.messages_received >= target, budget
+                    )
+                else:  # ib_read: server-initiated, response lands in ODP memory
+                    for k in range(op.count):
+                        laddr = ch["sregion"].base + (k % slots) * size
+                        raddr = ch["cregion"].base + (k % slots) * size
+                        qb.post_send(SendWr(opcode=Opcode.RDMA_READ, length=size,
+                                            local_addr=laddr, mr=ch["smr"],
+                                            remote_addr=raddr))
+                        if op.gap_us > 0:
+                            yield env.timeout(op.gap_us * 1e-6)
+                    ch["send_cq_b"] += op.count
+                    # Read responses land in qb.messages_received too, so
+                    # later write flushes must expect them.
+                    ch["msgs"] += op.count
+                    key = f"ib{i}.reads"
+                    trace.sent[key] = trace.sent.get(key, 0) + op.count
+                    target = ch["send_cq_b"]
+                    yield from _wait_until(
+                        env, lambda: qb.send_cq.completions >= target, budget
+                    )
+                trace.snapshots[f"ch{i}.op{op_idx}"] = [
+                    qb.messages_received, qb.bytes_received,
+                    qb.recv_cq.completions,
+                ]
+            elif op.kind == "ud_send":
+                ea, eb = ch["ea"], ch["eb"]
+                size = max(1, min(op.size, region_bytes // 2))
+                slots = max(1, region_bytes // size)
+                for k in range(op.count):
+                    addr = ch["sregion"].base + ((ch["recv"] + k) % slots) * size
+                    eb.post_recv(RecvWr(addr=addr, length=size, mr=ch["smr"]))
+                for k in range(op.count):
+                    ea.send(eb, size)
+                    if op.gap_us > 0:
+                        yield env.timeout(op.gap_us * 1e-6)
+                ch["recv"] += op.count
+                key = f"ud{i}.sent"
+                trace.sent[key] = trace.sent.get(key, 0) + op.count
+                target = ch["recv"]
+                yield from _wait_until(
+                    env, lambda: eb.received >= target, budget
+                )
+                trace.snapshots[f"ch{i}.op{op_idx}"] = [
+                    eb.received, eb.recv_cq.completions,
+                ]
+            elif op.kind == "invalidate":
+                if sc.mode == "npf":
+                    span = spec.heap_pages
+                    off = min(op.offset, span - 1)
+                    n = max(1, min(op.pages, span - off))
+                    base_vpn = ch["sregion"].base >> PAGE_SHIFT
+                    lat = b.driver.invalidate_range(ch["smr"], base_vpn + off, n)
+                    yield env.timeout(max(lat, 1e-9))
+                else:
+                    yield env.timeout(1e-9)
+            elif op.kind == "settle":
+                yield env.timeout(op.ms * 1e-3)
+
+    _drive(env, sc, trace, chan_ops, b.memory, settle=0.05)
+
+    for i, ch in enumerate(chans):
+        if ch["spec"].kind == "rc":
+            qa, qb = ch["qa"], ch["qb"]
+            trace.completions[f"ib{i}.recv"] = _drain_cq(qb.recv_cq)
+            trace.completions[f"ib{i}.send"] = _drain_cq(qa.send_cq)
+            trace.completions[f"ib{i}.rsend"] = _drain_cq(qb.send_cq)
+            trace.counts[f"ib{i}.messages_received"] = qb.messages_received
+            trace.counts[f"ib{i}.bytes_received"] = qb.bytes_received
+            trace.meta[f"ib{i}.rnr_nacks_sent"] = qb.rnr_nacks_sent
+            trace.meta[f"ib{i}.rnr_retries"] = qa.rnr_retries
+            trace.meta[f"ib{i}.read_rewinds"] = qb.read_rewinds
+            trace.meta[f"ib{i}.read_rnr_nacks"] = qb.read_rnr_nacks
+            trace.meta[f"ib{i}.send_faults"] = qa.send_faults + qb.send_faults
+        else:
+            ea, eb = ch["ea"], ch["eb"]
+            trace.completions[f"ud{i}.recv"] = _drain_cq(eb.recv_cq)
+            trace.counts[f"ud{i}.received"] = eb.received
+            trace.meta[f"ud{i}.dropped_rnpf"] = eb.dropped_rnpf
+            trace.meta[f"ud{i}.dropped_no_buffer"] = eb.dropped_no_buffer
+    _common_meta(trace, env, b.memory, injector)
+
+
+def _drain_cq(cq) -> List[list]:
+    out = []
+    wc = cq.poll()
+    while wc is not None:
+        out.append([wc.opcode.value, wc.byte_len, wc.status.value])
+        wc = cq.poll()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shared driving loop
+# ---------------------------------------------------------------------------
+
+def _drive(env: Environment, sc: Scenario, trace: Trace, chan_ops,
+           server_memory, settle: float = 0.02) -> None:
+    """Run per-channel op streams concurrently, plus the env-wide stream."""
+    per_channel: Dict[int, list] = {}
+    env_stream = []
+    for op in sc.ops:
+        if op.channel < 0:
+            env_stream.append(op)
+        elif 0 <= op.channel < len(sc.channels):
+            per_channel.setdefault(op.channel, []).append(op)
+
+    hog_state = {"space": None, "regions": 0}
+
+    def env_ops():
+        for op in env_stream:
+            if op.kind == "hog":
+                # Swap pressure: only meaningful against NPF (pinned pages
+                # are reclaim-exempt), so the oracle run idles here.
+                if sc.mode != "npf":
+                    yield env.timeout(1e-9)
+                    continue
+                if hog_state["space"] is None:
+                    hog_state["space"] = server_memory.create_space("hog")
+                hog_state["regions"] += 1
+                region = hog_state["space"].mmap(
+                    op.pages * PAGE_SIZE, name=f"hog{hog_state['regions']}"
+                )
+                step = 128
+                for start in range(0, op.pages, step):
+                    n = min(step, op.pages - start)
+                    hog_state["space"].touch_range(
+                        region.base + start * PAGE_SIZE, n * PAGE_SIZE,
+                        write=True,
+                    )
+                    yield env.timeout(200e-6)
+            elif op.kind == "settle":
+                yield env.timeout(op.ms * 1e-3)
+            else:
+                yield env.timeout(1e-9)
+
+    procs = [
+        env.process(chan_ops(i, ops), name=f"fuzz-ch{i}")
+        for i, ops in sorted(per_channel.items())
+    ]
+    if env_stream:
+        procs.append(env.process(env_ops(), name="fuzz-env"))
+
+    def master():
+        for p in procs:
+            if not p.triggered:
+                yield p
+        yield env.timeout(settle)
+
+    done = env.process(master(), name="fuzz-master")
+    env.run(until=done)
+
+
+def _common_meta(trace: Trace, env: Environment, memory, injector) -> None:
+    trace.meta["sim_time"] = round(env.now, 9)
+    trace.meta["mem.minor_faults"] = memory.minor_faults
+    trace.meta["mem.major_faults"] = memory.major_faults
+    trace.meta["mem.evictions"] = memory.evictions
+    trace.meta["injected_delays"] = injector.injected if injector else 0

@@ -1,0 +1,254 @@
+"""Seeded scenario generation.
+
+Scenario *i* of a campaign is derived from the master seed with
+``derive_seed(master, "scenario", i)`` — adding scenarios, reordering
+the campaign loop or running a single index in isolation never changes
+what any other index generates.  All draws come from one :class:`Rng`
+per scenario; the executor itself is deterministic given the scenario.
+"""
+
+from __future__ import annotations
+
+from ..sim.rng import Rng, derive_seed
+from .scenario import ChannelSpec, FaultPlan, Op, Scenario
+
+__all__ = ["generate_scenario"]
+
+#: ~30% of scenarios deliberately degrade (drop policy, tiny backup
+#: rings, injected faults) to exercise the graceful-degradation
+#: invariants; the rest must be differentially equivalent to static
+#: pinning.
+_DEGRADED_P = 0.30
+
+
+def generate_scenario(index: int, master_seed: int, profile: str = "mixed") -> Scenario:
+    """Generate scenario ``index`` of the campaign seeded by ``master_seed``.
+
+    ``profile`` narrows the search space: "mixed" (default) covers both
+    fabrics and all modes; "eth-backup" pins the fabric to Ethernet NPF
+    with the backup-ring policy and no injected faults — the profile the
+    deliberately-broken-invariant test uses, since every scenario in it
+    must be differentially lossless.
+    """
+    seed = derive_seed(master_seed, "scenario", index)
+    rng = Rng(seed, name=f"fuzz-{index}")
+    if profile == "eth-backup":
+        return _eth_scenario(rng, seed, degraded=False, force_npf=True)
+    if profile != "mixed":
+        raise ValueError(f"unknown profile {profile!r}")
+    degraded = rng.bernoulli(_DEGRADED_P)
+    if rng.bernoulli(0.65):
+        return _eth_scenario(rng, seed, degraded)
+    return _ib_scenario(rng, seed, degraded)
+
+
+# ---------------------------------------------------------------------------
+# Ethernet scenarios
+# ---------------------------------------------------------------------------
+
+def _eth_scenario(rng: Rng, seed: int, degraded: bool,
+                  force_npf: bool = False) -> Scenario:
+    n_channels = rng.randint(1, 2)
+    channels = []
+    for _ in range(n_channels):
+        channels.append(ChannelSpec(
+            kind="eth",
+            ring_size=rng.choice((8, 16)),
+            bm_factor=rng.choice((2, 4)),
+            heap_pages=rng.randint(16, 48),
+        ))
+
+    if degraded or force_npf:
+        mode = "npf"
+    else:
+        roll = rng.random()
+        mode = "npf" if roll < 0.70 else ("pdc" if roll < 0.85 else "static")
+
+    sc = Scenario(
+        seed=seed,
+        fabric="eth",
+        mode=mode,
+        rx_policy="backup",
+        memory_mb=rng.choice((8, 16)),
+        backup_size=max(64, sum(c.ring_size for c in channels)),
+        pdc_capacity_pages=rng.randint(4, 32),
+        channels=channels,
+    )
+    if mode == "npf":
+        sc.coalesce_faults = rng.bernoulli(0.4)
+        sc.swap_burst = rng.bernoulli(0.4)
+        sc.warm_iotlb = rng.bernoulli(0.4)
+
+    if degraded:
+        # Pick at least one lossy ingredient.
+        if rng.bernoulli(0.4):
+            sc.rx_policy = "drop"
+        elif rng.bernoulli(0.5):
+            sc.backup_size = rng.choice((2, 4))
+        else:
+            sc.faults = FaultPlan(
+                delay_p=round(rng.uniform(0.3, 1.0), 2),
+                delay_ms=round(rng.uniform(2.0, 12.0), 2),
+            )
+
+    ops = []
+    for i, spec in enumerate(channels):
+        for _ in range(rng.randint(2, 4)):
+            roll = rng.random()
+            if roll < 0.45:
+                ops.append(Op(
+                    kind="burst", channel=i,
+                    count=rng.randint(2, spec.ring_size),
+                    size=rng.randint(64, spec.buffer_size),
+                    gap_us=round(rng.uniform(0.0, 10.0), 2),
+                ))
+            elif roll < 0.75:
+                ops.append(Op(
+                    kind="send_back", channel=i,
+                    count=rng.randint(1, 12),
+                    size=rng.randint(64, 4096),
+                    gap_us=round(rng.uniform(0.0, 10.0), 2),
+                ))
+            elif roll < 0.90 and mode == "npf":
+                ops.append(_invalidate_op(rng, i))
+            else:
+                ops.append(Op(kind="settle", channel=i,
+                              ms=round(rng.uniform(0.1, 1.0), 2)))
+    _ensure_traffic(ops, rng, channels)
+    if mode == "npf" and rng.bernoulli(0.35):
+        ops.append(_hog_op(rng, sc.memory_mb))
+    # The shuffle decides the cross-channel interleaving; each channel's
+    # subsequence still replays in list order.
+    rng.shuffle(ops)
+    sc.ops = ops
+    return sc
+
+
+def _invalidate_op(rng: Rng, channel: int) -> Op:
+    roll = rng.random()
+    target = "next" if roll < 0.5 else ("pool" if roll < 0.8 else "heap")
+    return Op(
+        kind="invalidate", channel=channel,
+        pages=rng.randint(1, 4),
+        offset=rng.randint(0, 8),
+        target=target,
+    )
+
+
+# ---------------------------------------------------------------------------
+# InfiniBand scenarios
+# ---------------------------------------------------------------------------
+
+def _ib_scenario(rng: Rng, seed: int, degraded: bool) -> Scenario:
+    n_channels = rng.randint(1, 2)
+    channels = []
+    for _ in range(n_channels):
+        if rng.bernoulli(0.75):
+            channels.append(ChannelSpec(
+                kind="rc",
+                heap_pages=rng.randint(16, 64),
+                max_outstanding=rng.choice((4, 8)),
+                rnr_for_reads=rng.bernoulli(0.5),
+            ))
+        else:
+            channels.append(ChannelSpec(
+                kind="ud",
+                heap_pages=rng.randint(16, 32),
+                ud_buffered=True,
+            ))
+
+    mode = "npf" if (degraded or rng.bernoulli(0.8)) else "static"
+    sc = Scenario(
+        seed=seed,
+        fabric="ib",
+        mode=mode,
+        memory_mb=rng.choice((16, 32)),
+        channels=channels,
+    )
+
+    if degraded:
+        has_rc = any(c.kind == "rc" for c in channels)
+        if has_rc and rng.bernoulli(0.5):
+            # RNR exhaustion needs slow resolutions to accumulate retries.
+            sc.faults = FaultPlan(
+                delay_p=round(rng.uniform(0.5, 1.0), 2),
+                delay_ms=round(rng.uniform(5.0, 20.0), 2),
+                rnr_limit=rng.randint(1, 4),
+            )
+        else:
+            for spec in channels:
+                if spec.kind == "ud":
+                    spec.ud_buffered = False
+            sc.faults = FaultPlan(
+                delay_p=round(rng.uniform(0.3, 1.0), 2),
+                delay_ms=round(rng.uniform(2.0, 10.0), 2),
+            )
+
+    ops = []
+    for i, spec in enumerate(channels):
+        for _ in range(rng.randint(2, 4)):
+            if spec.kind == "ud":
+                ops.append(Op(
+                    kind="ud_send", channel=i,
+                    count=rng.randint(1, 6),
+                    size=rng.randint(64, 2048),
+                    gap_us=round(rng.uniform(0.0, 10.0), 2),
+                ))
+                continue
+            roll = rng.random()
+            if roll < 0.40:
+                kind = "ib_send"
+                count = rng.randint(1, 2 * spec.max_outstanding)
+            elif roll < 0.70:
+                kind = "ib_write"
+                count = rng.randint(1, 2 * spec.max_outstanding)
+            elif roll < 0.88:
+                kind = "ib_read"
+                count = rng.randint(1, 4)
+            else:
+                ops.append(Op(kind="invalidate", channel=i, target="heap",
+                              pages=rng.randint(1, 4),
+                              offset=rng.randint(0, 8)))
+                continue
+            max_size = min(16384, spec.heap_pages * 4096 // 4)
+            ops.append(Op(
+                kind=kind, channel=i, count=count,
+                size=rng.randint(256, max_size),
+                gap_us=round(rng.uniform(0.0, 5.0), 2),
+            ))
+    _ensure_traffic(ops, rng, channels)
+    if mode == "npf" and rng.bernoulli(0.3):
+        ops.append(_hog_op(rng, sc.memory_mb))
+    # The shuffle decides the cross-channel interleaving; each channel's
+    # subsequence still replays in list order.
+    rng.shuffle(ops)
+    sc.ops = ops
+    return sc
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _hog_op(rng: Rng, memory_mb: int) -> Op:
+    total_pages = memory_mb * 256  # 4 KiB pages per MiB
+    return Op(
+        kind="hog", channel=-1,
+        pages=rng.randint(int(total_pages * 0.5), int(total_pages * 0.9)),
+    )
+
+
+def _ensure_traffic(ops, rng: Rng, channels) -> None:
+    """Every scenario moves at least one packet (else it proves nothing)."""
+    for op in ops:
+        if op.kind in ("burst", "send_back", "ib_send", "ib_write",
+                       "ib_read", "ud_send"):
+            return
+    spec = channels[0]
+    if spec.kind == "eth":
+        ops.append(Op(kind="burst", channel=0,
+                      count=rng.randint(2, spec.ring_size), size=1024))
+    elif spec.kind == "rc":
+        ops.append(Op(kind="ib_send", channel=0, count=2, size=1024))
+    else:
+        ops.append(Op(kind="ud_send", channel=0, count=2, size=1024))

@@ -1,0 +1,205 @@
+"""Differential oracle and graceful-degradation invariants.
+
+Non-degraded scenarios are executed twice — once as configured (NPF /
+pin-down cache) and once as the static-pinning twin — and every
+IOuser-visible observable must match exactly: delivered payload tokens
+and their per-flow order, completion sequences (opcode, length, status),
+counter values at op barriers.  Timing is the *only* licensed
+difference, and nothing timing-valued enters the compared surface.
+
+Degraded scenarios (drop rx-policy, unbuffered UD, undersized backup
+rings, injected faults) legitimately lose traffic, so they are checked
+against weaker invariants instead: survivors keep per-flow order,
+every loss is accounted for, RC senders either complete everything or
+report ``RNR_RETRY_EXCEEDED``, and nothing crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..transport.verbs import WcStatus
+from .executor import Trace, run_scenario
+from .scenario import Scenario
+
+__all__ = ["FuzzFailure", "check_scenario", "diff_traces"]
+
+
+@dataclass
+class FuzzFailure:
+    """One scenario that violated the fuzzer's contract."""
+
+    kind: str             # "crash" | "sanitizer" | "differential" | "invariant"
+    details: List[str] = field(default_factory=list)
+    scenario: Optional[Scenario] = None
+
+    def describe(self) -> str:
+        lines = [f"{self.kind} failure ({len(self.details)} detail(s)):"]
+        lines += [f"  {d}" for d in self.details[:20]]
+        if len(self.details) > 20:
+            lines.append(f"  ... and {len(self.details) - 20} more")
+        return "\n".join(lines)
+
+
+def check_scenario(sc: Scenario, sanitize: bool = True) -> Optional[FuzzFailure]:
+    """Run one scenario through its oracle; None means it passed."""
+    npf = run_scenario(sc, sanitize=sanitize)
+    if npf.crashed is not None:
+        return FuzzFailure("crash", [npf.crashed], sc)
+    if npf.sanitizer:
+        return FuzzFailure("sanitizer", list(npf.sanitizer), sc)
+    problems = _invariant_violations(sc, npf)
+    if problems:
+        return FuzzFailure("invariant", problems, sc)
+    if sc.degraded:
+        return None
+    oracle = run_scenario(sc.oracle(), sanitize=sanitize)
+    if oracle.crashed is not None:
+        return FuzzFailure("crash", [f"oracle run: {oracle.crashed}"], sc)
+    if oracle.sanitizer:
+        return FuzzFailure(
+            "sanitizer", [f"oracle run: {v}" for v in oracle.sanitizer], sc
+        )
+    diffs = diff_traces(npf, oracle)
+    if diffs:
+        return FuzzFailure("differential", diffs, sc)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Differential comparison
+# ---------------------------------------------------------------------------
+
+def diff_traces(npf: Trace, oracle: Trace) -> List[str]:
+    """Human-readable differences between two compared() surfaces."""
+    out: List[str] = []
+    a, b = npf.compared(), oracle.compared()
+    for section in a:
+        _diff(section, a[section], b[section], out)
+    return out
+
+
+def _diff(path: str, a, b, out: List[str]) -> None:
+    if len(out) >= 50:
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b), key=str):
+            if key not in a:
+                out.append(f"{path}.{key}: only in oracle run ({b[key]!r})")
+            elif key not in b:
+                out.append(f"{path}.{key}: only in npf run ({a[key]!r})")
+            else:
+                _diff(f"{path}.{key}", a[key], b[key], out)
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.append(f"{path}: npf has {len(a)} item(s), oracle has {len(b)}")
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                out.append(f"{path}[{i}]: npf {x!r} != oracle {y!r}")
+                break
+    elif a != b:
+        out.append(f"{path}: npf {a!r} != oracle {b!r}")
+
+
+# ---------------------------------------------------------------------------
+# Graceful-degradation invariants (checked on EVERY run)
+# ---------------------------------------------------------------------------
+
+def _invariant_violations(sc: Scenario, t: Trace) -> List[str]:
+    out: List[str] = []
+    _check_flow_order(t, out)
+    if sc.fabric == "eth":
+        _check_backup_accounting(sc, t, out)
+    else:
+        _check_ib_progress(sc, t, out)
+    return out
+
+
+def _check_flow_order(t: Trace, out: List[str]) -> None:
+    """Survivors keep per-flow send order; nothing is duplicated or invented."""
+    for flow in sorted(t.flows):
+        seqs = t.flows[flow]
+        sent = t.sent.get(flow)
+        if sent is None:
+            out.append(f"flow {flow}: delivered but never sent")
+            continue
+        if len(seqs) > sent:
+            out.append(
+                f"flow {flow}: {len(seqs)} delivered > {sent} sent (duplication)"
+            )
+        prev = -1
+        for seq in seqs:
+            if seq <= prev:
+                out.append(
+                    f"flow {flow}: delivery order broken "
+                    f"(seq {seq} after {prev}; full order {seqs})"
+                )
+                break
+            if seq >= sent:
+                out.append(f"flow {flow}: delivered seq {seq} was never sent")
+                break
+            prev = seq
+
+
+def _check_backup_accounting(sc: Scenario, t: Trace, out: List[str]) -> None:
+    """Every faulting packet is either merged back or an accounted drop."""
+    if "backup.stored" not in t.meta:
+        return
+    faulted = sum(
+        v for k, v in t.meta.items()
+        if isinstance(k, str) and k.endswith(".ring.faulted_to_backup")
+    )
+    overflow = sum(
+        v for k, v in t.meta.items()
+        if isinstance(k, str) and k.endswith(".ring.dropped_backup_full")
+    )
+    stored = t.meta["backup.stored"]
+    dropped = t.meta["backup.dropped"]
+    if faulted != stored:
+        out.append(
+            f"backup accounting: channels faulted {faulted} packet(s) to the "
+            f"backup ring but it stored {stored}"
+        )
+    if overflow != dropped:
+        out.append(
+            f"drop accounting: channels recorded {overflow} backup-full "
+            f"drop(s) but the backup ring accounts for {dropped}"
+        )
+
+
+def _check_ib_progress(sc: Scenario, t: Trace, out: List[str]) -> None:
+    """RC: every posted WR completes, or the QP wedged with an explicit
+    RNR_RETRY_EXCEEDED completion (never a silent hang).  UD: conservation."""
+    exceeded = WcStatus.RNR_RETRY_EXCEEDED.value
+    success = WcStatus.SUCCESS.value
+    for i, spec in enumerate(sc.channels):
+        if spec.kind == "rc":
+            for posted_key, cq_key in ((f"ib{i}.posted", f"ib{i}.send"),
+                                       (f"ib{i}.reads", f"ib{i}.rsend")):
+                posted = t.sent.get(posted_key, 0)
+                wcs = t.completions.get(cq_key, [])
+                if posted == 0 and not wcs:
+                    continue
+                wedged = any(wc[2] == exceeded for wc in wcs)
+                complete = (len(wcs) == posted
+                            and all(wc[2] == success for wc in wcs))
+                if not (wedged or complete):
+                    bad = [wc for wc in wcs if wc[2] != success]
+                    out.append(
+                        f"{posted_key}: {posted} posted, {len(wcs)} "
+                        f"completion(s), no RNR_RETRY_EXCEEDED to explain the "
+                        f"gap (non-success completions: {bad[:5]})"
+                    )
+        else:
+            sent = t.sent.get(f"ud{i}.sent", 0)
+            received = t.counts.get(f"ud{i}.received", 0)
+            drops = (t.meta.get(f"ud{i}.dropped_rnpf", 0)
+                     + t.meta.get(f"ud{i}.dropped_no_buffer", 0))
+            if received > sent:
+                out.append(f"ud{i}: received {received} > sent {sent}")
+            if received + drops > sent:
+                out.append(
+                    f"ud{i}: received {received} + dropped {drops} > "
+                    f"sent {sent} (datagram double-counted)"
+                )

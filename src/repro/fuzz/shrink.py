@@ -1,0 +1,155 @@
+"""Greedy scenario minimization (delta debugging, fuzzer-style).
+
+Given a failing scenario, :func:`shrink` searches for a smaller one that
+*still fails* — any failure kind counts, since a mutation can legally
+surface the same root cause through a different checker.  Passes, in
+order of payoff:
+
+1. drop contiguous op chunks (ddmin-style, halving chunk sizes);
+2. remove whole channels (remapping the surviving ops' indices);
+3. simplify surviving ops field by field (halve counts and sizes, zero
+   gaps, shrink invalidation extents);
+4. clear scenario-level knobs (NPF options, injected faults).
+
+Every candidate is re-executed, so the whole search is bounded by
+``max_evals`` scenario runs; the result is 1-minimal with respect to the
+mutations that fit the budget, not globally minimal.  Shrinking is fully
+deterministic: no randomness, fixed pass order, first-fit acceptance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .oracle import FuzzFailure, check_scenario
+from .scenario import FaultPlan, Scenario
+
+__all__ = ["shrink"]
+
+
+def shrink(
+    sc: Scenario,
+    check: Optional[Callable[[Scenario], Optional[FuzzFailure]]] = None,
+    max_evals: int = 250,
+) -> Tuple[Scenario, Optional[FuzzFailure], int]:
+    """Minimize a failing scenario.
+
+    Returns ``(minimal, failure, evals)`` — the smallest still-failing
+    scenario found, the failure it produces, and how many executions the
+    search spent.  If ``sc`` does not actually fail, returns it
+    unchanged with ``failure=None`` after one evaluation.
+    """
+    if check is None:
+        check = check_scenario
+    budget = {"left": max_evals, "spent": 0}
+
+    def run(cand: Scenario) -> Optional[FuzzFailure]:
+        if budget["left"] <= 0:
+            return None
+        budget["left"] -= 1
+        budget["spent"] += 1
+        return check(cand)
+
+    current = Scenario.from_dict(sc.to_dict())
+    failure = run(current)
+    if failure is None:
+        return current, None, budget["spent"]
+
+    improved = True
+    while improved and budget["left"] > 0:
+        improved = False
+        for attempt in (_drop_op_chunks, _drop_channels, _simplify_ops,
+                        _clear_knobs):
+            current, failure, changed = attempt(current, failure, run)
+            improved = improved or changed
+            if budget["left"] <= 0:
+                break
+    return current, failure, budget["spent"]
+
+
+def _drop_op_chunks(sc: Scenario, failure: FuzzFailure, run):
+    changed = False
+    chunk = max(1, len(sc.ops) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(sc.ops) and len(sc.ops) > 1:
+            cand = Scenario.from_dict(sc.to_dict())
+            del cand.ops[i:i + chunk]
+            if not cand.ops:
+                i += chunk
+                continue
+            new_failure = run(cand)
+            if new_failure is not None:
+                sc, failure, changed = cand, new_failure, True
+                # Same index now names the next chunk; don't advance.
+            else:
+                i += chunk
+        chunk //= 2
+    return sc, failure, changed
+
+
+def _drop_channels(sc: Scenario, failure: FuzzFailure, run):
+    changed = False
+    ci = len(sc.channels) - 1
+    while ci >= 0 and len(sc.channels) > 1:
+        cand = Scenario.from_dict(sc.to_dict())
+        del cand.channels[ci]
+        kept = []
+        for op in cand.ops:
+            if op.channel == ci:
+                continue
+            if op.channel > ci:
+                op.channel -= 1
+            kept.append(op)
+        cand.ops = kept
+        if cand.ops:
+            new_failure = run(cand)
+            if new_failure is not None:
+                sc, failure, changed = cand, new_failure, True
+        ci -= 1
+    return sc, failure, changed
+
+
+def _simplify_ops(sc: Scenario, failure: FuzzFailure, run):
+    changed = False
+    for i in range(len(sc.ops)):
+        for field_name, simpler in (
+            ("count", lambda v: max(1, v // 2)),
+            ("count", lambda v: 1),
+            ("size", lambda v: max(64, v // 2)),
+            ("gap_us", lambda v: 0.0),
+            ("pages", lambda v: max(1, v // 2)),
+            ("offset", lambda v: 0),
+        ):
+            if i >= len(sc.ops):
+                break
+            value = getattr(sc.ops[i], field_name)
+            new_value = simpler(value)
+            if new_value == value:
+                continue
+            cand = Scenario.from_dict(sc.to_dict())
+            setattr(cand.ops[i], field_name, new_value)
+            new_failure = run(cand)
+            if new_failure is not None:
+                sc, failure, changed = cand, new_failure, True
+    return sc, failure, changed
+
+
+def _clear_knobs(sc: Scenario, failure: FuzzFailure, run):
+    changed = False
+    candidates = []
+    if sc.coalesce_faults or sc.swap_burst or sc.warm_iotlb:
+        candidates.append({"coalesce_faults": False, "swap_burst": False,
+                           "warm_iotlb": False})
+    if sc.faults.active():
+        candidates.append({"faults": FaultPlan()})
+    if sc.rx_policy != "backup":
+        candidates.append({"rx_policy": "backup"})
+    for fields in candidates:
+        cand = Scenario.from_dict(sc.to_dict())
+        for name, value in fields.items():
+            setattr(cand, name, value)
+        new_failure = run(cand)
+        if new_failure is not None:
+            sc, failure, changed = cand, new_failure, True
+    return sc, failure, changed

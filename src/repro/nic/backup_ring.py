@@ -60,6 +60,17 @@ class BackupRing:
             _hooks.active.on_backup_store(self, entry, accepted=True)
         return True
 
+    def note_overflow_drop(self) -> None:
+        """NIC-side drop accounting for a packet never offered to :meth:`store`.
+
+        The Ethernet datapath checks :meth:`has_room` *before* marking the
+        ring fault, so a full-backup drop happens without a ``store`` call;
+        this keeps ``dropped`` consistent with that pre-check path.
+        """
+        self.dropped += 1
+        if _hooks.active is not None:
+            _hooks.active.on_backup_store(self, None, accepted=False)
+
     def drain(self) -> List[BackupEntry]:
         """IOprovider side: take everything (replenishes the ring)."""
         entries = self._entries

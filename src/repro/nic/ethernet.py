@@ -218,6 +218,7 @@ class EthChannel:
                 self.ring.stats.dropped_bitmap_full += 1
             else:
                 self.ring.stats.dropped_backup_full += 1
+                provider.backup_ring.note_overflow_drop()
             return
         ring_index = self.ring.store_target
         bit_index = self.ring.mark_fault()

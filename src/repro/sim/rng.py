@@ -13,9 +13,24 @@ import zlib
 from math import exp as _exp, sqrt as _sqrt
 from typing import Sequence, TypeVar
 
-__all__ = ["Rng", "NV_MAGICCONST"]
+__all__ = ["Rng", "NV_MAGICCONST", "derive_seed"]
 
 T = TypeVar("T")
+
+
+def derive_seed(seed: int, *parts) -> int:
+    """Mix a parent seed with a path of parts into a 32-bit child seed.
+
+    One step of this is exactly what :meth:`Rng.fork` applies for a
+    single name, so ``derive_seed(s, "a", "b") == Rng(s).fork("a").fork("b").seed``.
+    Callers that need many sibling seeds (the scenario fuzzer, sweep
+    matrices) use it directly instead of materializing intermediate
+    streams: ``derive_seed(master, "scenario", i)``.
+    """
+    x = seed & 0xFFFFFFFF
+    for part in parts:
+        x = (x * 0x9E3779B1 + zlib.crc32(str(part).encode())) & 0xFFFFFFFF
+    return x
 
 #: Kinderman-Monahan rejection constant, exactly as CPython's
 #: ``random.NV_MAGICCONST``.  Hot paths that inline
@@ -40,8 +55,7 @@ class Rng:
         name, so the same (seed, path-of-names) always yields the same
         stream regardless of creation order.
         """
-        child_seed = (self.seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
-        return Rng(child_seed, name=f"{self.name}/{name}")
+        return Rng(derive_seed(self.seed, name), name=f"{self.name}/{name}")
 
     # -- distributions --------------------------------------------------
     def uniform(self, lo: float, hi: float) -> float:

@@ -6,6 +6,11 @@ session under the DMAsan shadow-state sanitizer
 :class:`DmaSanitizer` installed for its duration, and a test fails if
 the workload it simulated breached any cross-layer DMA invariant.
 
+If the operator asked for sanitizing but the hooks cannot be armed —
+the analysis package fails to import, or installing the session does
+not actually activate it — the run must abort loudly.  Skipping here
+would report a green "sanitized" run that never sanitized anything.
+
 Tests that *deliberately* provoke violations (the sanitizer's own
 tests) open an inner ``hooks.session`` of their own, so the session-wide
 observer never sees their events.
@@ -17,10 +22,19 @@ import os
 
 import pytest
 
-from repro.analysis import hooks
-from repro.analysis.sanitizer import DmaSanitizer
-
 SANITIZE = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+try:
+    from repro.analysis import hooks
+    from repro.analysis.sanitizer import DmaSanitizer
+except Exception as exc:  # pragma: no cover - exercised only when broken
+    if SANITIZE:
+        raise pytest.UsageError(
+            f"REPRO_SANITIZE=1 but the DMAsan hooks failed to import: {exc!r}; "
+            "refusing to run a silently unsanitized session"
+        )
+    hooks = None
+    DmaSanitizer = None
 
 
 @pytest.fixture(autouse=SANITIZE)
@@ -28,6 +42,12 @@ def _dma_sanitizer(request):
     """Session-wide DMAsan: one fresh sanitizer per test, fail on violations."""
     san = DmaSanitizer()
     with hooks.session(san):
+        if hooks.active is not san:
+            pytest.fail(
+                "REPRO_SANITIZE=1 but repro.analysis.hooks did not activate "
+                "the session sanitizer; refusing to run silently unsanitized",
+                pytrace=False,
+            )
         yield san
         san.final_check()
     if san.violations:

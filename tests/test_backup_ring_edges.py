@@ -1,0 +1,173 @@
+"""Edge cases of the Figure 6 merge-order machinery.
+
+The RxRing's absolute counters (``head``/``head_offset``/``bm_index``)
+must keep reporting completions in arrival order across ring *and*
+bitmap wraparound, with resolved and unresolved fault bits interleaved
+with direct stores; the BackupRing must account every overflow drop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.nic.backup_ring import BackupEntry, BackupRing
+from repro.nic.ethernet import RxMode
+from repro.nic.rings import RxDescriptor, RxRing
+from repro.host.host import EthernetHost
+from repro.sim.engine import Environment
+from repro.sim.units import MB, PAGE_SIZE
+
+
+def _pkt(seq):
+    return Packet(src="c", dst="s", size=64, kind="fuzz", payload=seq)
+
+
+def _post(ring, n):
+    for _ in range(n):
+        ring.post(RxDescriptor(buffer_addr=0, buffer_size=PAGE_SIZE))
+
+
+# -- RxRing: wraparound ------------------------------------------------------
+
+def test_merge_order_across_ring_and_bitmap_wraparound():
+    """Six fault+direct rounds walk head to 12 = three wraps of a 4-slot
+    ring and three wraps of its 4-bit bitmap; arrival order must hold."""
+    ring = RxRing(4, bm_size=4)
+    _post(ring, 4)
+    seq = 0
+    delivered = []
+    for _ in range(6):
+        fault_idx = ring.store_target
+        p_fault, p_direct = _pkt(seq), _pkt(seq + 1)
+        seq += 2
+        bit = ring.mark_fault()
+        # A younger packet lands directly while the fault is pending: the
+        # IOuser must NOT be notified (it would see it out of order).
+        assert ring.store_direct(p_direct) is False
+        assert ring.completions_available() == 0
+        # Provider resolves: copies the packet, then sweeps the head past
+        # both the faulted slot and the already-stored direct one.
+        ring.descriptor_at(fault_idx).packet = p_fault
+        assert ring.resolve_fault(bit) == 2
+        assert ring.completions_available() == 2
+        delivered.append(ring.consume().packet.payload)
+        delivered.append(ring.consume().packet.payload)
+        _post(ring, 2)
+    assert delivered == list(range(12))
+    assert ring.head == 12 and ring.head_offset == 0
+    assert ring.bm_index == 12
+    assert ring.bitmap == [0, 0, 0, 0]
+    assert ring.stats.faulted_to_backup == 6
+    assert ring.stats.stored_while_faulting == 6
+    assert ring.stats.resolved == 6
+
+
+def test_interleaved_resolution_exposes_nothing_until_oldest_resolves():
+    """Pattern F D F D: resolving the *younger* fault first must expose
+    zero completions; resolving the oldest then sweeps all four."""
+    ring = RxRing(4, bm_size=8)
+    _post(ring, 4)
+    idx0 = ring.store_target
+    bit0 = ring.mark_fault()                      # F at slot 0
+    assert ring.store_direct(_pkt(1)) is False    # D at slot 1
+    idx2 = ring.store_target
+    bit2 = ring.mark_fault()                      # F at slot 2
+    assert ring.store_direct(_pkt(3)) is False    # D at slot 3
+    assert bit2 == bit0 + 2  # the direct store occupies bit 1's position
+    assert ring.completions_available() == 0
+
+    ring.descriptor_at(idx2).packet = _pkt(2)
+    assert ring.resolve_fault(bit2) == 0          # younger: no sweep
+    assert ring.completions_available() == 0
+
+    ring.descriptor_at(idx0).packet = _pkt(0)
+    assert ring.resolve_fault(bit0) == 4          # oldest: sweeps everything
+    assert [ring.consume().packet.payload for _ in range(4)] == [0, 1, 2, 3]
+    assert ring.head_offset == 0
+    assert ring.stats.resolved == 2
+
+
+def test_bitmap_exhaustion_refuses_further_faults():
+    ring = RxRing(4, bm_size=2)
+    _post(ring, 4)
+    ring.mark_fault()
+    ring.mark_fault()
+    assert not ring.can_fault_to_backup()
+    with pytest.raises(IndexError):
+        ring.mark_fault()
+
+
+def test_ring_guards_post_and_store():
+    ring = RxRing(2)
+    _post(ring, 2)
+    with pytest.raises(IndexError):
+        ring.post(RxDescriptor(buffer_addr=0, buffer_size=64))
+    ring.store_direct(_pkt(0))
+    ring.store_direct(_pkt(1))
+    with pytest.raises(IndexError):  # store target beyond the tail
+        ring.store_direct(_pkt(2))
+    with pytest.raises(IndexError):
+        empty = RxRing(2)
+        empty.consume()
+
+
+# -- BackupRing: FIFO + overflow accounting ----------------------------------
+
+def _entry(seq):
+    return BackupEntry(channel="u0", ring_index=seq, bit_index=seq,
+                       packet=_pkt(seq))
+
+
+def test_backup_fifo_overflow_and_drop_accounting():
+    br = BackupRing(2)
+    assert br.store(_entry(0)) is True
+    assert br.store(_entry(1)) is True
+    assert not br.has_room()
+    assert br.store(_entry(2)) is False
+    assert (br.stored, br.dropped, br.high_watermark, len(br)) == (2, 1, 2, 2)
+    # The Ethernet pre-check path drops without ever calling store().
+    br.note_overflow_drop()
+    assert br.dropped == 2
+
+    drained = br.drain()
+    assert [e.ring_index for e in drained] == [0, 1]  # FIFO
+    assert len(br) == 0 and br.has_room()
+    assert br.pop() is None
+    br.store(_entry(3))
+    assert br.pop().ring_index == 3
+
+
+def test_backup_rejects_degenerate_size():
+    with pytest.raises(ValueError):
+        BackupRing(0)
+
+
+# -- integration: overflow drops are visible end to end ----------------------
+
+def test_ethernet_backup_overflow_accounts_drops_end_to_end():
+    """backup_size=1 and a cold ODP rx pool: of three arrivals, one is
+    buffered and resolved, two are dropped — and every counter agrees."""
+    env = Environment()
+    server = EthernetHost(env, "server", memory_bytes=64 * MB, backup_size=1)
+    u = server.create_iouser("u0", RxMode.BACKUP, ring_size=8,
+                             bm_size=32, buffer_size=PAGE_SIZE)
+    received = []
+    u.channel.set_rx_handler(lambda p: received.append(p.payload))
+
+    for seq in range(3):
+        server.nic.receive(Packet(src="c", dst="s", size=256, kind="fuzz",
+                                  channel="u0", payload=seq))
+
+    ring, backup = u.channel.ring, server.provider.backup_ring
+    assert ring.stats.faulted_to_backup == 1
+    assert backup.stored == 1
+    assert ring.stats.dropped_backup_full == 2
+    assert backup.dropped == 2
+    assert u.channel.dropped_rnpf == 2
+    assert ring.completions_available() == 0  # nothing until resolution
+
+    env.run(until=1.0)
+    assert received == [0]
+    assert u.channel.rx_packets == 1
+    assert ring.stats.resolved == 1 and ring.head_offset == 0

@@ -8,16 +8,24 @@ breakdown, in the same order.  These tests are the canary for any
 optimization that reorders events or changes float association.
 """
 
+import multiprocessing
+
+import pytest
+
 from repro.apps.framing import MessageFramer
 from repro.apps.kvstore import KvServer
 from repro.apps.memaslap import Memaslap
 from repro.experiments import fig3_breakdown
+from repro.experiments.base import results_to_json
 from repro.experiments.config import scaled_tcp_params
 from repro.experiments.fig4_cold_ring import MODES
+from repro.experiments.runner import run_experiment
 from repro.host.host import ethernet_testbed
 from repro.sim.engine import Environment
 from repro.sim.rng import Rng
 from repro.sim.units import KB, MB
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 
 def _npf_stream(log):
@@ -88,3 +96,26 @@ def test_fig4_cold_ring_event_streams_are_reproducible():
         assert first == second, f"mode {name} diverged between identical runs"
         saw_faults = saw_faults or bool(first[1]) or bool(first[3])
     assert saw_faults, "no NPFs serviced in any mode; test lost its teeth"
+
+
+@pytest.mark.skipif(not _FORK, reason="parallel runner needs the fork start method")
+def test_seed_matrix_is_byte_identical_across_job_counts():
+    """3 seeds x jobs {1, 4}: each seed's rendered table must be
+    byte-identical regardless of worker count, and distinct seeds must
+    actually produce distinct tables (the seed plumbing is not dead)."""
+    MessageFramer.reset_registry()
+    per_seed = {}
+    for seed in (7, 11, 23):
+        rendered = []
+        for jobs in (1, 4):
+            result = run_experiment(
+                "table4", samples=60, seed=seed, jobs=jobs, cache=False,
+            )
+            rendered.append(results_to_json([result]))
+        assert rendered[0] == rendered[1], (
+            f"seed {seed}: output diverged between jobs=1 and jobs=4"
+        )
+        per_seed[seed] = rendered[0]
+    assert len(set(per_seed.values())) == 3, (
+        "different seeds produced identical tables; seed is not reaching cells"
+    )

@@ -1,0 +1,235 @@
+"""The differential scenario fuzzer end to end.
+
+Three layers of teeth:
+
+1. the healthy substrate passes a seeded sample of scenarios (both
+   differential and degraded) with zero mismatches;
+2. generation and execution are bit-deterministic, so every finding is
+   reproducible from ``(master_seed, index)`` alone;
+3. a deliberately broken invariant — Figure 6 merge order, the exact
+   bug class the paper's backup-ring design exists to prevent — is
+   found by the fuzzer, shrunk to a tiny scenario, serialized, and the
+   replay file reproduces the failure while the bug is installed but
+   passes once it is reverted.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    ChannelSpec,
+    FaultPlan,
+    Op,
+    Scenario,
+    check_scenario,
+    generate_scenario,
+    shrink,
+)
+from repro.fuzz.cli import load_replay_file, main, write_replay_file
+from repro.fuzz.executor import run_scenario
+from repro.nic import rings
+from repro.sim.rng import Rng, derive_seed
+from repro.transport.verbs import WcStatus
+
+SEED = 0xCAFEF00D
+
+
+# -- scenario model ----------------------------------------------------------
+
+def test_scenario_json_roundtrip():
+    sc = generate_scenario(3, SEED)
+    assert Scenario.from_json(sc.to_json()).to_dict() == sc.to_dict()
+
+
+def test_oracle_twin_is_static_and_fault_free():
+    sc = generate_scenario(1, SEED)
+    twin = sc.oracle()
+    assert twin.mode == "static"
+    assert not twin.faults.active()
+    assert not (twin.coalesce_faults or twin.swap_burst or twin.warm_iotlb)
+    # Same traffic shape: op list and channels carry over unchanged.
+    assert [o.kind for o in twin.ops] == [o.kind for o in sc.ops]
+    assert twin.channels == sc.channels
+    # Building the twin does not mutate the original.
+    assert sc.to_dict() == generate_scenario(1, SEED).to_dict()
+
+
+def test_derive_seed_matches_fork_chain():
+    assert derive_seed(99, "a", "b") == Rng(99).fork("a").fork("b").seed
+    # Sibling scenario streams are independent of each other.
+    assert derive_seed(99, "scenario", 1) != derive_seed(99, "scenario", 2)
+
+
+# -- generation --------------------------------------------------------------
+
+def test_generator_is_deterministic_and_seed_sensitive():
+    a = [generate_scenario(i, 123).to_dict() for i in range(10)]
+    b = [generate_scenario(i, 123).to_dict() for i in range(10)]
+    c = [generate_scenario(i, 124).to_dict() for i in range(10)]
+    assert a == b
+    assert a != c
+
+
+def test_generator_covers_both_oracle_classes():
+    scenarios = [generate_scenario(i, SEED) for i in range(60)]
+    assert any(sc.degraded for sc in scenarios)
+    assert any(not sc.degraded for sc in scenarios)
+    assert any(sc.fabric == "ib" for sc in scenarios)
+    assert any(sc.fabric == "eth" for sc in scenarios)
+    assert all(
+        any(op.kind in ("burst", "send_back", "ib_send", "ib_write",
+                        "ib_read", "ud_send") for op in sc.ops)
+        for sc in scenarios
+    )
+
+
+# -- execution ---------------------------------------------------------------
+
+def _compared_json(trace):
+    return json.dumps(trace.compared(), sort_keys=True)
+
+
+@pytest.mark.parametrize("index", [0, 1])  # index 0: degraded ib; 1: eth npf
+def test_executor_is_deterministic(index):
+    sc = generate_scenario(index, SEED)
+    a = run_scenario(sc)
+    b = run_scenario(sc)
+    assert a.crashed is None and b.crashed is None
+    assert _compared_json(a) == _compared_json(b)
+
+
+def test_npf_run_actually_faults():
+    sc = generate_scenario(1, SEED)
+    assert sc.fabric == "eth" and sc.mode == "npf"
+    trace = run_scenario(sc)
+    faulted = sum(v for k, v in trace.meta.items()
+                  if k.endswith(".ring.faulted_to_backup"))
+    assert faulted > 0, "NPF run never faulted; the fuzzer lost its teeth"
+    assert trace.meta["backup.stored"] == faulted
+
+
+def test_seeded_sample_is_clean():
+    """The acceptance bar in miniature; `make fuzz-smoke` runs 200."""
+    for i in range(30):
+        sc = generate_scenario(i, SEED)
+        failure = check_scenario(sc)
+        assert failure is None, (
+            f"scenario {i} (seed {sc.seed}): {failure.describe()}"
+        )
+
+
+# -- fault injection and graceful degradation --------------------------------
+
+def test_rnr_exhaustion_wedges_with_explicit_error():
+    sc = Scenario(
+        seed=5, fabric="ib", mode="npf",
+        channels=[ChannelSpec(kind="rc", heap_pages=32)],
+        ops=[Op(kind="ib_send", channel=0, count=8, size=2048, gap_us=1.0)],
+        faults=FaultPlan(delay_p=1.0, delay_ms=15.0, rnr_limit=1),
+    )
+    assert sc.degraded
+    trace = run_scenario(sc)
+    assert trace.crashed is None
+    exceeded = [wc for wc in trace.completions["ib0.send"]
+                if wc[2] == WcStatus.RNR_RETRY_EXCEEDED.value]
+    assert exceeded, "RNR budget of 1 never exhausted under 15ms delays"
+    assert check_scenario(sc) is None
+
+
+def test_unbuffered_ud_drops_but_conserves():
+    sc = Scenario(
+        seed=9, fabric="ib", mode="npf",
+        channels=[ChannelSpec(kind="ud", heap_pages=16, ud_buffered=False)],
+        ops=[Op(kind="ud_send", channel=0, count=6, size=1024, gap_us=0.5)],
+        faults=FaultPlan(delay_p=1.0, delay_ms=5.0),
+    )
+    assert sc.degraded
+    trace = run_scenario(sc)
+    assert trace.crashed is None
+    assert trace.counts["ud0.received"] <= trace.sent["ud0.sent"]
+    assert check_scenario(sc) is None
+
+
+def test_delay_injection_is_deterministic():
+    sc = Scenario(
+        seed=77, fabric="eth", mode="npf",
+        channels=[ChannelSpec(kind="eth", ring_size=8)],
+        ops=[Op(kind="burst", channel=0, count=8, size=1024, gap_us=1.0)],
+        faults=FaultPlan(delay_p=0.5, delay_ms=3.0),
+    )
+    a, b = run_scenario(sc), run_scenario(sc)
+    assert a.meta["injected_delays"] == b.meta["injected_delays"]
+    assert _compared_json(a) == _compared_json(b)
+
+
+# -- the teeth test: a planted bug must be found, shrunk and replayable ------
+
+def _broken_store_direct(self, packet):
+    """Figure 6 merge order broken: direct stores are reported to the
+    IOuser immediately even while an older fault is still unresolved."""
+    descriptor = self.descriptor_at(self.store_target)
+    if descriptor is None:
+        raise IndexError("store_direct without a posted descriptor")
+    descriptor.packet = packet
+    if self.head_offset:
+        self.stats.stored_while_faulting += 1
+        self.head += 1  # BUG: jumps the queue past the faulting packet
+        return True
+    self.head += 1
+    self.stats.stored_direct += 1
+    return True
+
+
+def test_broken_merge_order_is_found_shrunk_and_replayable(monkeypatch, tmp_path):
+    monkeypatch.setattr(rings.RxRing, "store_direct", _broken_store_direct)
+    found = None
+    for i in range(100):
+        sc = generate_scenario(i, 0xDEADBEEF, profile="eth-backup")
+        failure = check_scenario(sc)
+        if failure is not None:
+            found = (i, sc, failure)
+            break
+    assert found is not None, "fuzzer missed the planted merge-order bug"
+    _, sc, failure = found
+    assert failure.kind in ("differential", "sanitizer", "invariant")
+
+    minimal, min_failure, evals = shrink(sc)
+    assert min_failure is not None
+    assert len(minimal.ops) <= 10, (
+        f"shrinker left {len(minimal.ops)} ops after {evals} evals"
+    )
+    assert len(minimal.channels) <= len(sc.channels)
+
+    path = tmp_path / "merge-order-repro.json"
+    write_replay_file(str(path), minimal, min_failure, evals)
+    assert load_replay_file(str(path)).to_dict() == minimal.to_dict()
+    # With the bug installed, the replay reproduces (exit 0) ...
+    assert main(["replay", str(path)]) == 0
+    # ... and on the healthy substrate the same file passes (exit 2).
+    monkeypatch.undo()
+    assert main(["replay", str(path)]) == 2
+
+
+def test_cli_run_reports_and_serializes_failures(monkeypatch, tmp_path):
+    monkeypatch.setattr(rings.RxRing, "store_direct", _broken_store_direct)
+    out = tmp_path / "failures"
+    rc = main([
+        "run", "--n", "20", "--seed", str(0xDEADBEEF),
+        "--profile", "eth-backup", "--out", str(out),
+        "--max-failures", "1", "--shrink-evals", "80",
+    ])
+    assert rc == 1
+    files = sorted(out.glob("fail-*.json"))
+    assert len(files) == 1
+    minimal = load_replay_file(str(files[0]))
+    assert len(minimal.ops) <= 10
+
+
+def test_cli_clean_run_exits_zero(tmp_path):
+    rc = main(["run", "--n", "5", "--seed", "7",
+               "--out", str(tmp_path / "failures")])
+    assert rc == 0
+    assert not (tmp_path / "failures").exists()

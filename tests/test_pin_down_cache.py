@@ -1,0 +1,133 @@
+"""Pin-down cache eviction policy at its edges.
+
+Complements test_core_pinning.py (basic hit/miss, single LRU eviction,
+flush): these tests pin down the *boundary* behaviours — exactly-full
+capacity, multi-entry eviction drains back under budget, every entry
+referenced, releasing a registration that was already evicted, and the
+oversized-buffer passthrough the paper's §2.2 "floating point" relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NpfDriver, PinDownCache
+from repro.iommu import Iommu
+from repro.mem import Memory
+from repro.sim import Environment
+from repro.sim.units import PAGE_SIZE
+
+
+def make_cache(capacity_pages, mem_pages=64):
+    env = Environment()
+    memory = Memory(mem_pages * PAGE_SIZE)
+    driver = NpfDriver(env, Iommu())
+    cache = PinDownCache(driver, capacity_bytes=capacity_pages * PAGE_SIZE)
+    space = memory.create_space()
+    region = space.mmap(32 * PAGE_SIZE)
+    return cache, space, region
+
+
+def test_exactly_full_cache_keeps_both_entries():
+    """used == capacity is NOT over budget: nothing may be evicted."""
+    cache, space, region = make_cache(capacity_pages=4)
+    a, b = region.base, region.base + 8 * PAGE_SIZE
+    cache.acquire(space, a, 2 * PAGE_SIZE)
+    cache.release(space, a, 2 * PAGE_SIZE)
+    cache.acquire(space, b, 2 * PAGE_SIZE)
+    cache.release(space, b, 2 * PAGE_SIZE)
+    assert cache.used_bytes == cache.capacity_bytes
+    assert cache.stats.evictions == 0
+    # Both still resident: re-acquiring either is a free hit.
+    _, lat_a = cache.acquire(space, a, 2 * PAGE_SIZE)
+    assert lat_a == 0.0
+    assert cache.stats.hits == 1
+
+
+def test_one_byte_over_evicts_the_idle_lru_entry_only():
+    cache, space, region = make_cache(capacity_pages=4)
+    a, b = region.base, region.base + 8 * PAGE_SIZE
+    cache.acquire(space, a, 2 * PAGE_SIZE)  # stays referenced
+    cache.release(space, a, 2 * PAGE_SIZE)
+    cache.acquire(space, b, 2 * PAGE_SIZE)
+    cache.release(space, b, 2 * PAGE_SIZE)
+    cache.acquire(space, a, 2 * PAGE_SIZE)  # touch a: b becomes LRU, a pinned
+    c = region.base + 16 * PAGE_SIZE
+    _, latency = cache.acquire(space, c, PAGE_SIZE)
+    assert latency > 0
+    assert cache.stats.evictions == 1  # b went; a was referenced
+    assert cache.used_bytes == 3 * PAGE_SIZE
+    _, lat_a = cache.acquire(space, a, 2 * PAGE_SIZE)
+    assert lat_a == 0.0  # a survived eviction
+    assert cache.stats.misses == 3
+
+
+def test_all_entries_referenced_then_released_drains_in_one_miss():
+    """With every entry pinned the cache runs over budget without
+    evicting; the first miss after release evicts as many idle entries
+    as it takes to fit back under capacity."""
+    cache, space, region = make_cache(capacity_pages=2)
+    a, b = region.base, region.base + 8 * PAGE_SIZE
+    cache.acquire(space, a, 2 * PAGE_SIZE)
+    cache.acquire(space, b, 2 * PAGE_SIZE)  # concurrent pin: over budget
+    assert cache.used_bytes == 4 * PAGE_SIZE
+    assert cache.stats.evictions == 0
+    cache.release(space, a, 2 * PAGE_SIZE)
+    cache.release(space, b, 2 * PAGE_SIZE)
+    c = region.base + 16 * PAGE_SIZE
+    _, latency = cache.acquire(space, c, PAGE_SIZE)
+    assert latency > 0
+    assert cache.stats.evictions == 2  # both a and b had to go
+    assert cache.used_bytes == PAGE_SIZE
+    assert len(cache) == 1
+
+
+def test_release_of_an_evicted_registration_raises():
+    cache, space, region = make_cache(capacity_pages=4)
+    cache.acquire(space, region.base, 2 * PAGE_SIZE)
+    cache.release(space, region.base, 2 * PAGE_SIZE)
+    cache.flush()  # evicts the idle entry
+    with pytest.raises(ValueError):
+        cache.release(space, region.base, 2 * PAGE_SIZE)
+
+
+def test_double_release_raises():
+    cache, space, region = make_cache(capacity_pages=4)
+    cache.acquire(space, region.base, 2 * PAGE_SIZE)
+    cache.release(space, region.base, 2 * PAGE_SIZE)
+    with pytest.raises(ValueError):
+        cache.release(space, region.base, 2 * PAGE_SIZE)
+
+
+def test_oversized_buffer_passes_through_and_is_evicted_first():
+    """A buffer bigger than the whole cache registers anyway (no point
+    evicting for it) and is reclaimed by the next miss once idle."""
+    cache, space, region = make_cache(capacity_pages=2)
+    mr_big, latency = cache.acquire(space, region.base, 4 * PAGE_SIZE)
+    assert latency > 0
+    assert cache.used_bytes == 4 * PAGE_SIZE  # over capacity by design
+    assert cache.stats.evictions == 0
+    cache.release(space, region.base, 4 * PAGE_SIZE)
+    _, lat2 = cache.acquire(space, region.base + 16 * PAGE_SIZE, PAGE_SIZE)
+    assert lat2 > 0
+    assert cache.stats.evictions == 1
+    assert not mr_big.is_registered
+    assert cache.used_bytes == PAGE_SIZE
+
+
+def test_same_base_different_size_are_distinct_entries():
+    cache, space, region = make_cache(capacity_pages=8)
+    cache.acquire(space, region.base, 2 * PAGE_SIZE)
+    cache.acquire(space, region.base, PAGE_SIZE)
+    assert cache.stats.misses == 2
+    assert len(cache) == 2
+    assert cache.used_bytes == 3 * PAGE_SIZE
+
+
+def test_hit_rate_statistic():
+    cache, space, region = make_cache(capacity_pages=8)
+    assert cache.stats.hit_rate == 0.0  # no accesses yet
+    cache.acquire(space, region.base, PAGE_SIZE)
+    cache.release(space, region.base, PAGE_SIZE)
+    cache.acquire(space, region.base, PAGE_SIZE)
+    assert cache.stats.hit_rate == 0.5
