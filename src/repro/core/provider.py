@@ -68,16 +68,28 @@ class IoProvider:
     def _backup_handler(self):
         """Drain the backup ring into software queues (replenishes it)."""
         entries = self.backup_ring.drain()
-        for entry in entries:
-            queue = self._queues.get(entry.channel)
+        # Batch consecutive same-channel runs into one bulk insert (the
+        # ring usually drains bursts from one IOuser at a time).  Runs
+        # keep the global wake order of the per-entry loop exactly.
+        i, n = 0, len(entries)
+        while i < n:
+            name = entries[i].channel
+            j = i + 1
+            while j < n and entries[j].channel == name:
+                j += 1
+            queue = self._queues.get(name)
             if queue is None:
                 queue = Store(self.env)
-                self._queues[entry.channel] = queue
-                channel = self._channels[entry.channel]
+                self._queues[name] = queue
+                channel = self._channels[name]
                 self.env.process(
-                    self._resolver(channel, queue), name=f"resolver-{entry.channel}"
+                    self._resolver(channel, queue), name=f"resolver-{name}"
                 )
-            queue.put_nowait(entry)
+            if j - i == 1:
+                queue.put_nowait(entries[i])
+            else:
+                queue.put_many_nowait(entries[i:j])
+            i = j
         # Small per-entry cost for the interrupt-context bookkeeping.
         yield self.env.timeout(0.5e-6 * max(1, len(entries)))
 

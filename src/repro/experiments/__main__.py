@@ -145,7 +145,8 @@ def main(argv: List[str] | None = None) -> int:
     stats = report.stats
     print(f"{len(report.results)} experiment(s), {stats.total} cells "
           f"({stats.hits} cached, {stats.misses} computed) "
-          f"in {report.wall_s:.1f}s with jobs={report.jobs or default_jobs()}",
+          f"in {report.wall_s:.1f}s with jobs={report.jobs or default_jobs()} "
+          f"[{report.mode}]",
           file=sys.stderr)
     if args.json:
         with open(args.json, "w") as fh:

@@ -57,6 +57,7 @@ __all__ = [
     "CacheStats",
     "RunReport",
     "default_jobs",
+    "usable_cpus",
     "execute_cells",
     "run_experiment",
     "run_many",
@@ -146,17 +147,46 @@ class CacheStats:
 
 @dataclass
 class RunReport:
-    """What one ``run_many`` invocation did, for the CLI summary line."""
+    """What one ``run_many`` invocation did, for the CLI summary line.
+
+    ``mode`` is the *effective* execution mode — ``"in-process"`` or
+    ``"fork-pool(n)"`` — as chosen by :func:`execute_cells` after the
+    fallback heuristics, not the requested ``jobs``.  Benchmarks record
+    it so a pool that would lose to sequential execution can never be
+    reported as a pool silently (see ``tools/bench_substrate.py``).
+    """
 
     jobs: int
     results: "OrderedDict[str, ExperimentResult]" = field(
         default_factory=OrderedDict)
     stats: CacheStats = field(default_factory=CacheStats)
     wall_s: float = 0.0
+    mode: str = "in-process"
+
+
+#: Below this many pending cells a fork pool cannot amortize its
+#: startup + pickle cost against typical cell runtimes; stay in-process.
+_MIN_POOL_CELLS = 4
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
 
 
 def default_jobs() -> int:
-    return os.cpu_count() or 1
+    """Worker count when the caller does not specify one.
+
+    With <= 2 usable cores a fork pool loses to sequential execution
+    (fork + pickle overhead with no spare core to hide it behind — the
+    0.91x "speedup" once recorded in BENCH_experiments.json), so the
+    default is in-process there.
+    """
+    n = usable_cpus()
+    return 1 if n <= 2 else n
 
 
 def _sanitize_requested() -> bool:
@@ -188,6 +218,14 @@ def _execute_cell(spec: Cell) -> Any:
     return execute(spec)
 
 
+def _execute_cell_indexed(job: "tuple[int, Cell]") -> "tuple[int, Any]":
+    """Pool-worker entry for the imap scheduler: tag results with their
+    cell index so completion order (which varies run to run) never leaks
+    into result order."""
+    i, spec = job
+    return i, _execute_cell(spec)
+
+
 # -- the cache ---------------------------------------------------------------
 
 def _cache_path(cache_dir: Path, key: str) -> Path:
@@ -211,13 +249,24 @@ def execute_cells(cells: Sequence[Cell],
                   cache: bool = True,
                   cache_dir: Optional[os.PathLike] = None,
                   fingerprint: Optional[str] = None,
-                  stats: Optional[CacheStats] = None) -> List[Any]:
+                  stats: Optional[CacheStats] = None,
+                  report: Optional[RunReport] = None) -> List[Any]:
     """Execute ``cells``, returning fragments in the cells' order.
 
     Cached fragments are loaded instead of recomputed; missing ones run
-    in-process (``jobs=1``) or across a fork pool, and are published to
-    the cache afterwards.  ``fingerprint`` overrides the source-tree
-    hash (tests use this to force invalidation without editing files).
+    in-process or across a fork pool, and are published to the cache
+    afterwards.  ``fingerprint`` overrides the source-tree hash (tests
+    use this to force invalidation without editing files).
+
+    Parallelism is honest: the pool is only forked when it can plausibly
+    win — more than two usable cores AND at least ``_MIN_POOL_CELLS``
+    pending cells AND ``jobs > 1`` — otherwise execution stays
+    in-process (no fork, no pickling, ambient observers intact).  Pooled
+    cells are dispatched through chunked ``imap_unordered`` so slow
+    cells overlap instead of barrier-batching, and fragments are
+    reassembled by cell index, so the output is bit-identical to the
+    in-process order whatever completes first.  The chosen mode is
+    recorded on ``report`` when one is passed.
     """
     jobs = jobs if jobs else default_jobs()
     if stats is None:
@@ -245,21 +294,43 @@ def execute_cells(cells: Sequence[Cell],
     stats.misses += len(pending)
 
     if pending:
-        if jobs == 1 or len(pending) == 1:
+        n_workers = min(jobs, len(pending))
+        use_pool = (n_workers > 1
+                    and len(pending) >= _MIN_POOL_CELLS
+                    and usable_cpus() > 2)
+        if not use_pool:
             # In-process fallback: no pool, no pickling, ambient
             # observers (a test-session DMAsan) keep seeing events.
-            computed = [execute(cells[i]) for i in pending]
+            # ``REPRO_SANITIZE=1`` still gets its per-cell sanitizer
+            # session (they nest), so the sanitize contract does not
+            # depend on whether the pool heuristics engaged.
+            if report is not None:
+                report.mode = "in-process"
+            computed = [_execute_cell(cells[i]) for i in pending]
         else:
             import multiprocessing
 
-            with multiprocessing.get_context("fork").Pool(
-                    min(jobs, len(pending))) as pool:
-                computed = pool.map(_execute_cell,
-                                    [cells[i] for i in pending])
+            if report is not None:
+                report.mode = f"fork-pool({n_workers})"
+            # Chunked imap_unordered: workers pull work as they finish
+            # (slow cells overlap instead of barrier-batching a map),
+            # chunks amortize per-task pickle round-trips, and index
+            # tags restore deterministic order on reassembly.
+            chunksize = max(1, len(pending) // (n_workers * 4))
+            by_index: Dict[int, Any] = {}
+            with multiprocessing.get_context("fork").Pool(n_workers) as pool:
+                for i, fragment in pool.imap_unordered(
+                        _execute_cell_indexed,
+                        [(i, cells[i]) for i in pending],
+                        chunksize=chunksize):
+                    by_index[i] = fragment
+            computed = [by_index[i] for i in pending]
         for i, fragment in zip(pending, computed):
             fragments[i] = fragment
             if cache:
                 _cache_store(paths[i], fragment)
+    elif report is not None:
+        report.mode = "in-process"
     return fragments
 
 
@@ -307,7 +378,7 @@ def run_many(names: Sequence[str],
 
     fragments = execute_cells(flat, jobs=jobs, cache=cache,
                               cache_dir=cache_dir, fingerprint=fingerprint,
-                              stats=report.stats)
+                              stats=report.stats, report=report)
 
     offset = 0
     for name, sweep in sweeps.items():

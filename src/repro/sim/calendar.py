@@ -1,0 +1,342 @@
+"""Standalone calendar/ladder priority queue.
+
+This is the queue discipline inside :mod:`repro.sim.engine`'s
+``Environment``, extracted as a generic ``(time, item)`` container with
+no event machinery attached.  It exists for two consumers:
+
+* the property-test suite, which drives it against a ``heapq``
+  reference model over randomized workloads (``tests/test_sim_calendar
+  .py``) — the engine inlines the same structure into its dispatch
+  loops, so this module is the testable statement of the ordering
+  contract;
+* the ``calendar_vs_heap`` micro-benchmark in
+  ``tools/bench_substrate.py``, which races it against a binary heap on
+  the simulator's near-monotone timestamp distribution.
+
+Ordering contract: :meth:`pop` returns entries in ascending time order,
+and entries pushed with *equal* times come back in push (FIFO) order —
+without any tie-break counter.  Equal times always map to the same lane
+and the same bucket, appends happen in push order, and every internal
+sort is stable with overflow entries (always the older ones for a split
+tie) concatenated first.  This mirrors the heap's explicit
+``(time, counter)`` key exactly; the determinism gates of the
+experiment suite ride on it.
+
+Structure (DESIGN.md "Calendar-queue scheduler" has the full notes):
+
+* ``_imm`` — deque for entries at or before the last popped time;
+* ``_cur`` — the bucket being drained, sorted descending (pop = end);
+* ``_buckets`` — ring of ``_RING`` buckets, ``_width`` seconds each;
+* ``_ovf`` — far-future ladder, unsorted until a re-spill, with its
+  minimum (``_ovfd``) tracked so an advance never skips past a ladder
+  entry that has come due.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from operator import itemgetter
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = ["CalendarQueue"]
+
+_RING = 256
+_RING_MASK = _RING - 1
+_SPILL = 4096
+_SCAN_LIMIT = 48
+_THIN_LIMIT = 2048
+_FILL = float(_RING - 1)
+# A backlog at or below this stays in the flat lane (``_cur`` alone,
+# width = inf); above it, _flat_exit restores bucketed operation.
+_FLAT_LIMIT = 64
+
+_ENTRY_T = itemgetter(0)
+
+
+class CalendarQueue:
+    """A calendar queue of ``(time, item)`` pairs with FIFO tie-break.
+
+    ``push`` accepts any time at or after the last ``pop``'s time
+    (near-monotone contract — the engine never schedules into the past);
+    times at or before it join the immediate lane and pop next, in push
+    order, exactly like the engine's current-time lane.
+    """
+
+    __slots__ = ("_now", "_len", "_imm", "_cur", "_buckets", "_j", "_jp1",
+                 "_hor", "_t0", "_inv_w", "_width", "_thin", "_ovf", "_ovfd")
+
+    def __init__(self, start: float = 0.0, width: float = 1e-6):
+        self._now = float(start)
+        self._len = 0
+        self._imm: deque = deque()
+        self._cur: list = []
+        self._buckets: list = [[] for _ in range(_RING)]
+        self._j = 0
+        self._jp1 = 1.0
+        self._hor = float(_RING)
+        self._t0 = self._now
+        self._width = width
+        self._inv_w = 1.0 / width
+        self._thin = 0
+        self._ovf: list = []
+        self._ovfd = math.inf
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recent :meth:`pop` (or the start time)."""
+        return self._now
+
+    def push(self, t: float, item: Any) -> None:
+        """Enqueue ``item`` at time ``t`` (>= the last popped time)."""
+        self._len += 1
+        now = self._now
+        if t <= now:
+            self._imm.append((t, item))
+            return
+        entry = (t, item)
+        inv_w = self._inv_w
+        if not inv_w:
+            # Flat lane (width = inf): ``_cur`` alone carries the queue,
+            # so skip the epoch math entirely.
+            cur = self._cur
+            if not cur or t >= cur[0][0]:
+                cur.insert(0, entry)
+            else:
+                self._slow_insert(t, entry)
+            if len(cur) > _FLAT_LIMIT:
+                self._flat_exit()
+            return
+        d = (t - self._t0) * inv_w
+        if d < self._jp1:
+            cur = self._cur
+            if not cur or t >= cur[0][0]:
+                cur.insert(0, entry)
+            else:
+                self._slow_insert(t, entry)
+        elif d < self._hor:
+            j = int(d)
+            k = j - self._j
+            if k <= 0:
+                cur = self._cur
+                if not cur or t >= cur[0][0]:
+                    cur.insert(0, entry)
+                else:
+                    self._slow_insert(t, entry)
+            elif k < _RING:
+                self._buckets[j & _RING_MASK].append(entry)
+            else:
+                self._ovf.append(entry)
+                if d < self._ovfd:
+                    self._ovfd = d
+        else:
+            self._ovf.append(entry)
+            if d < self._ovfd:
+                self._ovfd = d
+
+    def _slow_insert(self, t: float, entry: Tuple[float, Any]) -> None:
+        # ``_cur`` descends by time; land in front of (= pop after) every
+        # equal-time entry.  Index 0 was ruled out by the caller.
+        cur = self._cur
+        lo, hi = 1, len(cur)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cur[mid][0] > t:
+                lo = mid + 1
+            else:
+                hi = mid
+        cur.insert(lo, entry)
+
+    def _flat_exit(self) -> None:
+        # The flat lane outgrew _FLAT_LIMIT: restore bucketed mode.  A
+        # zero-span lane stays flat — an equal-time burst occupies one
+        # bucket at any finite width, and the lane already serves it at
+        # O(1) per entry.
+        cur = self._cur
+        if cur[0][0] <= cur[-1][0]:
+            return
+        cur.reverse()  # ascending again = push order for ties
+        entries = self._ovf
+        entries.extend(cur)
+        cur.clear()
+        self._ovf = entries
+        self._respill()
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, item)`` pair."""
+        imm = self._imm
+        cur = self._cur
+        if imm:
+            # Timed entries at or before ``now`` predate the immediate
+            # lane (they were pushed before the clock reached now).
+            if cur and cur[-1][0] <= self._now:
+                entry = cur.pop()
+                self._now = entry[0]
+            else:
+                entry = imm.popleft()
+        else:
+            while not cur:
+                if not self._advance():
+                    raise IndexError("pop from an empty CalendarQueue")
+                cur = self._cur
+            entry = cur.pop()
+            self._now = entry[0]
+        self._len -= 1
+        return entry
+
+    def drain(self) -> Iterator[Tuple[float, Any]]:
+        """Pop everything, in order."""
+        while self._len:
+            yield self.pop()
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest queued time without popping, or None when empty."""
+        if not self._len:
+            return None
+        imm = self._imm
+        cur = self._cur
+        if imm:
+            if cur and cur[-1][0] <= self._now:
+                return cur[-1][0]
+            return self._now
+        while not cur:
+            self._advance()
+            cur = self._cur
+        return cur[-1][0]
+
+    def _advance(self) -> bool:
+        buckets = self._buckets
+        j0 = j = self._j
+        ovfd = self._ovfd
+        # One-hop fast path, then the bounded scan.
+        limit = j + _SCAN_LIMIT
+        empty = self._cur
+        while j < limit:
+            j += 1
+            if ovfd < j + 1.0:
+                # A ladder entry is due at (or before) this bucket:
+                # merge via gather + re-spill before advancing past it.
+                break
+            b = buckets[j & _RING_MASK]
+            if b:
+                self._j = j
+                self._jp1 = j + 1.0
+                self._hor = j + 256.0
+                buckets[j & _RING_MASK] = empty
+                if len(b) > 1:
+                    b.sort(key=_ENTRY_T)
+                    b.reverse()
+                    self._thin = 0
+                else:
+                    # Hop distance, not adoption count: sparse traffic
+                    # paying a multi-bucket scan per event reaches the
+                    # widening threshold proportionally faster.
+                    self._thin += j - j0
+                    if self._thin >= _THIN_LIMIT:
+                        self._cur = b
+                        self._widen()
+                        return True
+                self._cur = b
+                return True
+        # Sparse ring or a due ladder entry: gather everything.
+        entries = self._ovf
+        for b in buckets:
+            if b:
+                entries.extend(b)
+                b.clear()
+        self._ovf = entries
+        # Near-empty gather after a scan miss: the backlog degenerated
+        # to a serial pipeline, which no bucket width serves well — drop
+        # to the flat lane (mirrors the engine): width = inf routes
+        # every push onto the front-insert path and ``_cur`` alone
+        # carries the queue until it outgrows ``_FLAT_LIMIT``.
+        if len(entries) <= 2:
+            if not entries:
+                self._ovfd = math.inf
+                return False
+            if len(entries) > 1:
+                entries.sort(key=_ENTRY_T)
+            entries.reverse()
+            self._cur = entries
+            self._ovf = []
+            self._ovfd = math.inf
+            self._t0 = self._now
+            self._width = math.inf
+            self._inv_w = 0.0
+            self._thin = 0
+            self._j = 0
+            self._jp1 = 1.0
+            self._hor = 256.0
+            return True
+        return self._respill()
+
+    def _widen(self) -> None:
+        # Chronically single-entry buckets: re-spill at 8x the width.
+        # Gather order — ladder, ring, current lane — keeps split
+        # equal-time groups in push order under the stable re-sort.
+        self._thin = 0
+        min_width = self._width * 8.0
+        entries = self._ovf
+        for b in self._buckets:
+            if b:
+                entries.extend(b)
+                b.clear()
+        cur = self._cur
+        if cur:
+            cur.reverse()
+            entries.extend(cur)
+            cur.clear()
+        self._ovf = entries
+        self._respill(min_width)
+
+    def _respill(self, min_width: float = 0.0) -> bool:
+        entries = self._ovf
+        if not entries:
+            self._ovfd = math.inf
+            return False
+        entries.sort(key=_ENTRY_T)
+        window = entries[:_SPILL] if len(entries) > _SPILL else entries
+        t_first = window[0][0]
+        span = window[-1][0] - t_first
+        width = self._width
+        if 0.0 < span < math.inf:
+            # Target several entries per bucket, not the textbook ~1:
+            # probes are Python-priced while the per-adoption sort is a
+            # C-priced Timsort, so small backlogs want fewer, fatter
+            # buckets (a 64-entry backlog over 128 buckets would pay a
+            # multi-bucket scan on nearly every pop).
+            width = span / max(2.0, min(128.0, len(window) / 6.0))
+        if width < min_width:
+            width = min_width
+        if 0.0 < width < math.inf:
+            self._width = width
+            self._inv_w = 1.0 / width
+        inv_w = self._inv_w
+        self._t0 = t_first
+        buckets = self._buckets
+        count = 0
+        for entry in entries:
+            d = (entry[0] - t_first) * inv_w
+            if d >= _FILL:
+                break
+            buckets[int(d) & _RING_MASK].append(entry)
+            count += 1
+        if count == len(entries):
+            self._ovf = []
+            self._ovfd = math.inf
+        else:
+            if count:
+                del entries[:count]
+            self._ovfd = (entries[0][0] - t_first) * inv_w
+        self._j = -1
+        self._jp1 = 0.0
+        self._hor = 255.0
+        refilled = self._advance()
+        assert refilled
+        return True

@@ -67,6 +67,25 @@ class Store(Generic[T]):
             return False
         return True
 
+    def put_many_nowait(self, items) -> None:
+        """Bulk :meth:`put_nowait` with the dispatch hoisted out.
+
+        Each item, in order, either wakes the oldest waiting getter or
+        lands at the tail — exactly the per-item semantics, so the event
+        schedule is identical to a ``put_nowait`` loop.  Raises
+        :class:`StoreFull` at the first item that does not fit; items
+        already accepted stay accepted.
+        """
+        getters = self._getters
+        store = self._store
+        for item in items:
+            if getters:
+                getters.popleft().succeed(item)
+            elif self.is_full:
+                raise StoreFull()
+            else:
+                store(item)
+
     def get_nowait(self) -> Optional[T]:
         """Pop the next item, or return ``None`` if empty."""
         if not self._items:

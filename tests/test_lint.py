@@ -328,6 +328,48 @@ def test_rl007_scoped_to_experiment_modules(tmp_path):
     assert "RL007" not in _codes(findings)
 
 
+# -- RL008: direct heap access to the scheduler -------------------------------
+
+def test_rl008_flags_heappush_on_env_state(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        import heapq
+
+        def sneak(env, ev):
+            heapq.heappush(env._queue, (0.0, ev))
+        """, "src/repro/core/fake.py")
+    assert "RL008" in _codes(findings)
+
+
+def test_rl008_flags_from_import_alias(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        from heapq import heappush as push
+
+        def sneak(self, ev):
+            push(self.env._events, ev)
+        """, "src/repro/nic/fake.py")
+    assert "RL008" in _codes(findings)
+
+
+def test_rl008_allows_heap_on_plain_state(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        import heapq
+
+        def track(backlog, item):
+            heapq.heappush(backlog, item)
+        """, "src/repro/core/fake.py")
+    assert "RL008" not in _codes(findings)
+
+
+def test_rl008_exempts_sim_package(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        import heapq
+
+        def _store(self, item):
+            heapq.heappush(self.env._pending, item)
+        """, "src/repro/sim/queues.py")
+    assert "RL008" not in _codes(findings)
+
+
 # -- baseline ----------------------------------------------------------------
 
 def test_baseline_suppresses_matching_finding(tmp_path):

@@ -161,3 +161,50 @@ def test_priority_store_capacity_and_wakeup():
     assert ("put2", 0.0) in events
     assert ("got", 2, 2.0) in events
     assert ("put1", 2.0) in events
+
+
+def test_put_many_nowait_matches_loop_semantics():
+    env = Environment()
+    store = Store(env)
+    store.put_many_nowait([1, 2, 3])
+    assert [store.get_nowait() for _ in range(3)] == [1, 2, 3]
+    assert store.get_nowait() is None
+
+
+def test_put_many_nowait_wakes_getters_in_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer("a"))
+    env.process(consumer("b"))
+
+    def producer():
+        yield env.timeout(1.0)
+        store.put_many_nowait([10, 20, 30])
+
+    env.process(producer())
+    env.run()
+    # Oldest getter gets the first item; the rest queue in FIFO order.
+    assert got == [("a", 10), ("b", 20)]
+    assert store.get_nowait() == 30
+
+
+def test_put_many_nowait_raises_at_first_overflow():
+    env = Environment()
+    store = Store(env, capacity=2)
+    with pytest.raises(StoreFull):
+        store.put_many_nowait([1, 2, 3])
+    # Items accepted before the overflow stay queued.
+    assert [store.get_nowait(), store.get_nowait()] == [1, 2]
+
+
+def test_put_many_nowait_priority_store_pops_sorted():
+    env = Environment()
+    store = PriorityStore(env)
+    store.put_many_nowait([5, 1, 4, 2])
+    assert [store.get_nowait() for _ in range(4)] == [1, 2, 4, 5]

@@ -268,3 +268,25 @@ def test_streaming_summary_bounds(data):
     assert stream.minimum <= stream.p50 <= stream.maximum
     assert stream.minimum <= stream.p95 <= stream.maximum
     assert stream.minimum <= stream.p99 <= stream.maximum
+
+
+def test_streaming_summary_add_many_bit_identical():
+    from repro.sim import StreamingSummary
+    import random
+
+    rng = random.Random(7)
+    samples = [rng.expovariate(1.0) for _ in range(500)]
+    one = StreamingSummary()
+    for x in samples:
+        one.add(x)
+    bulk = StreamingSummary()
+    bulk.add_many(samples[:123])
+    bulk.add_many([])
+    bulk.add_many(samples[123:])
+    assert bulk.count == one.count
+    assert bulk.total == one.total
+    assert bulk.minimum == one.minimum
+    assert bulk.maximum == one.maximum
+    assert bulk.p50 == one.p50
+    assert bulk.p95 == one.p95
+    assert bulk.p99 == one.p99

@@ -32,6 +32,11 @@ RL007     ``cell_*`` function in an experiment module reads module-level
           must be pure — the parallel runner pickles only the cell config,
           so hidden state diverges between workers and poisons the
           content-addressed cache.
+RL008     direct ``heapq`` operation on state reached through an
+          ``Environment`` outside ``sim/``: the scheduler is a calendar
+          queue (no heap exists), so a heap push cannot preserve dispatch
+          order — schedule via ``env.timeout``/``after``/``defer``/
+          ``schedule_callback``.
 ========  ==================================================================
 
 Suppression

@@ -29,6 +29,8 @@ RULE_DOCS = {
              "function (stale DMA translations)",
     "RL007": "experiment cell function touches module-level mutable state "
              "(cells must be pure: config in, fragment out)",
+    "RL008": "direct heapq operation on Environment scheduler state "
+             "outside sim/ (use env.timeout/after/defer/schedule_callback)",
 }
 
 #: (start_line, start_col, end_line, end_col, replacement) — 1-based lines.
@@ -356,6 +358,62 @@ def _check_unmap_shootdown(path: str, tree: ast.Module) -> Iterator[RawFinding]:
             )
 
 
+# -- RL008: direct heap access to the scheduler -------------------------------
+
+_HEAPQ_OPS = {"heappush", "heappop", "heappushpop", "heapreplace", "heapify"}
+
+
+def _mentions_env(node: ast.expr) -> bool:
+    """Does the expression reach through an Environment reference?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in ("env", "environment"):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in (
+                "env", "environment", "_env"):
+            return True
+    return False
+
+
+def _check_scheduler_heap(path: str, tree: ast.Module) -> Iterator[RawFinding]:
+    """RL008: ``heapq.heappush(env...something, ...)`` outside ``sim/``.
+
+    The calendar-queue engine does not keep a heap at all — events live
+    in time buckets with a FIFO tie-break — so a direct heap operation
+    on anything reached through an Environment cannot preserve the
+    dispatch order the determinism gates ride on.  All scheduling goes
+    through the Environment API (``timeout``/``after``/``defer``/
+    ``schedule_callback``); ``sim/`` itself is exempt (the queue
+    discipline lives there, e.g. ``PriorityStore``'s item heap).
+    """
+    rel = _repro_parts(path)
+    if rel is None or (rel and rel[0] == "sim"):
+        return
+    from_heapq: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "heapq":
+            for alias in node.names:
+                if alias.name in _HEAPQ_OPS:
+                    from_heapq.add(alias.asname or alias.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        op = None
+        if (isinstance(func, ast.Attribute) and func.attr in _HEAPQ_OPS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "heapq"):
+            op = func.attr
+        elif isinstance(func, ast.Name) and func.id in from_heapq:
+            op = func.id
+        if op is not None and _mentions_env(node.args[0]):
+            yield RawFinding(
+                node.lineno, node.col_offset, "RL008",
+                f"heapq.{op}() on Environment state outside sim/: the "
+                f"scheduler is a calendar queue, not a heap — use "
+                f"env.timeout/after/defer/schedule_callback",
+            )
+
+
 # -- RL007: cell purity in experiment modules --------------------------------
 #
 # The parallel runner pickles each ``cell_*`` function's config to a
@@ -462,6 +520,7 @@ def collect_findings(path: str, tree: ast.Module,
     findings = list(visitor.findings)
     findings.extend(_check_slots(path, tree))
     findings.extend(_check_unmap_shootdown(path, tree))
+    findings.extend(_check_scheduler_heap(path, tree))
     findings.extend(_check_cell_purity(path, tree))
     # RL001 fixes need the import line too; attach it to the first fix.
     for f in findings:
