@@ -9,7 +9,7 @@ FUZZ_N ?= 5000
 ## Master seed for fuzz campaigns (fuzz-smoke pins its own).
 FUZZ_SEED ?= 3405691582
 
-.PHONY: test lint sanitize bench bench-quick bench-quick-record \
+.PHONY: test lint lint-flow sanitize bench bench-quick bench-quick-record \
         bench-experiments profile experiments fuzz fuzz-smoke
 
 ## Lint + bench smoke + fuzz smoke + full test suite.
@@ -17,12 +17,20 @@ FUZZ_SEED ?= 3405691582
 ## smoke check for the experiment engine; bench-quick fails if a gated
 ## benchmark regresses below 0.9x of its committed
 ## BENCH_substrate_quick.json throughput.
-test: lint bench-quick fuzz-smoke
+test: lint lint-flow bench-quick fuzz-smoke
 	$(PYTHON) -m pytest -x -q
 
 ## Determinism / DMA-invariant static analysis (tools/lint).
+## Results are content-hash cached under .repro-cache/lint/; warm runs
+## of both passes are sub-second.
 lint:
 	$(PYTHON) -m tools.lint src/
+
+## Whole-program flow analysis (repro.analysis.static): interprocedural
+## typestate (RL009/RL010), determinism taint (RL011), callback captures
+## (RL012) and the DMAsan coverage cross-check (RLCOV).
+lint-flow:
+	$(PYTHON) -m tools.lint flow src/
 
 ## Full test run with the DMAsan runtime sanitizer hooked into every test.
 sanitize:
@@ -34,8 +42,10 @@ bench:
 	$(PYTHON) tools/bench_substrate.py --label optimized
 
 ## CI smoke: 1/10-scale suite, read-only compare of the gated benchmarks
-## against the committed quick reference (fails below 0.9x).
-bench-quick:
+## against the committed quick reference (fails below 0.9x).  The flow
+## pass gates the bench path too: perf numbers recorded from a tree that
+## violates the DMA/pinning protocol are not numbers worth keeping.
+bench-quick: lint-flow
 	$(PYTHON) tools/bench_substrate.py --label optimized --quick --check
 
 ## Re-record the committed quick reference (BENCH_substrate_quick.json).

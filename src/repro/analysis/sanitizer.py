@@ -125,7 +125,7 @@ class DmaSanitizer:
         key = (space, vpn)
         if key in self._page_frame:
             self._report(
-                "residency",
+                "residency",  # static: dynamic-only(double residency depends on runtime fault/fork interleaving)
                 f"page asid={space.asid} vpn={vpn} became resident twice "
                 f"(frames {self._page_frame[key]} and {frame})",
             )
@@ -261,7 +261,7 @@ class DmaSanitizer:
         if memory is not None and (memory, frame) not in self._frame_refs:
             if self._mem_baseline.get(memory, 1) == 0:
                 self._report(
-                    "mapped-not-resident",
+                    "mapped-not-resident",  # static: dynamic-only(needs the live shadow frame table)
                     f"I/O PTE dom={table.domain_id} iopn={iopn} installed "
                     f"for frame {frame} which is not resident",
                 )
@@ -315,7 +315,7 @@ class DmaSanitizer:
     # -- receive-ring hooks (paper Figure 6) ------------------------------
     def _check_ring(self, ring: Any, what: str) -> None:
         if ring.head_offset < 0:
-            self._report("ring-order", f"{what}: negative head_offset")
+            self._report("ring-order", f"{what}: negative head_offset")  # static: dynamic-only(ring cursor relations are runtime values)
         if ring.head > ring.tail:
             self._report(
                 "ring-order",
@@ -377,7 +377,7 @@ class DmaSanitizer:
             fifo.append(entry)
             if len(ring._entries) > ring.size:
                 self._report(
-                    "backup-order",
+                    "backup-order",  # static: dynamic-only(FIFO order is a property of the event interleaving)
                     f"backup ring over capacity: {len(ring._entries)} > "
                     f"{ring.size}",
                 )
@@ -415,7 +415,7 @@ class DmaSanitizer:
         # no longer exist.
         if message.retry > qp.MAX_RNR_RETRIES + 1:
             self._report(
-                "rnr-bound",
+                "rnr-bound",  # static: dynamic-only(retry counters exist only at runtime)
                 f"wr {message.wr_id} retried {message.retry} times, past "
                 f"the MAX_RNR_RETRIES={qp.MAX_RNR_RETRIES} bound",
             )
@@ -423,7 +423,7 @@ class DmaSanitizer:
     def on_completion(self, cq: Any, wc: Any) -> None:
         if wc.byte_len < 0:
             self._report(
-                "verbs",
+                "verbs",  # static: dynamic-only(completion contents are runtime values)
                 f"completion wr={wc.wr_id} with negative byte_len",
             )
         if wc.time != cq.env.now:
@@ -467,7 +467,7 @@ class DmaSanitizer:
             used = memory.allocator.used_frames
             if shadow_frames != used:
                 self._report(
-                    "frame-leak",
+                    "frame-leak",  # static: dynamic-only(allocator vs shadow balance is runtime state)
                     f"allocator holds {used} frames but the shadow "
                     f"accounts for {shadow_frames}: leaked or "
                     f"double-counted frames",

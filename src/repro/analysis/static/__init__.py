@@ -1,0 +1,43 @@
+"""repro.analysis.static — whole-program flow analysis (RL009–RL012).
+
+The per-file linter (``tools/lint``) and the runtime sanitizer
+(:mod:`repro.analysis.sanitizer`) bracket the protocol defence from
+two sides; this package fills the gap between them: interprocedural,
+whole-program passes over ``src/repro`` that prove the DMA/pinning
+lifecycle *statically* where that is possible, and force an explicit
+``# static: dynamic-only(reason)`` decision where it is not.
+
+Passes (see the submodules for the algorithms):
+
+* :mod:`.callgraph` — module/function index + may-call resolution;
+* :mod:`.typestate` — RL009 (unmap→DMA with no shootdown, across
+  calls) and RL010 (pin/unpin imbalance along some acyclic path);
+* :mod:`.taint` — RL011 (set-order / wall-clock / environ taint
+  reaching event-schedule or trace-emit sinks);
+* :mod:`.captures` — RL012 (environment-scheduled callbacks capturing
+  state that mutates before dispatch);
+* :mod:`.report` — findings, inline suppression, the DMAsan coverage
+  cross-check (RLCOV) and the fuzzer verdict hook.
+
+Run via ``python -m tools.lint flow src/`` or ``make lint-flow``.
+"""
+
+from .report import (
+    FLOW_RULE_DOCS,
+    STATIC_COUNTERPARTS,
+    FlowFinding,
+    analyze_files,
+    analyze_paths,
+    coverage_check,
+    verdict_for_failure,
+)
+
+__all__ = [
+    "FLOW_RULE_DOCS",
+    "STATIC_COUNTERPARTS",
+    "FlowFinding",
+    "analyze_files",
+    "analyze_paths",
+    "coverage_check",
+    "verdict_for_failure",
+]

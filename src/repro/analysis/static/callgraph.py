@@ -1,0 +1,305 @@
+"""Whole-program model: modules, functions, classes and call resolution.
+
+The flow passes (:mod:`.typestate`, :mod:`.taint`, :mod:`.captures`)
+need to follow the DMA/pinning protocol *across* function boundaries —
+the one thing the per-file linter (``tools/lint``) cannot do.  This
+module parses every file of the analyzed tree once and builds the
+shared substrate they all walk:
+
+* a module index (display path -> parsed AST + source lines), with
+  dotted module names derived from the path below the ``repro``
+  package directory (mirroring ``tools.lint.rules._repro_parts``);
+* a function table keyed by qualified name
+  (``repro.core.driver.NpfDriver._os_phase``), covering module-level
+  functions, methods, and nested defs;
+* per-module import maps (``from ..iommu.iommu import Iommu`` resolves
+  relative levels against the module's package), and
+* :meth:`Program.resolve_call` — the *may* call graph: a call site
+  resolves to zero or more candidate callees.  ``self.m()`` binds
+  through the enclosing class (walking known bases), bare names bind
+  through nested defs, module scope and imports, and ``obj.m()`` falls
+  back to every known method/function named ``m`` (bounded, so generic
+  names like ``get`` never fan out into nonsense edges).
+
+Resolution is deliberately *unsound in the safe direction for a
+linter*: an unresolvable call contributes no effects, so the passes
+under-report rather than drown the tree in false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FunctionInfo", "ModuleInfo", "Program"]
+
+#: An attribute call with more candidate targets than this is treated as
+#: unresolved — by-name fallback is for domain verbs (``unmap``,
+#: ``service_fault``), not for ubiquitous method names.
+_MAX_ATTR_CANDIDATES = 8
+
+
+class FunctionInfo:
+    """One function/method/nested def of the analyzed program."""
+
+    __slots__ = ("qualname", "name", "cls", "module", "path", "node",
+                 "lineno", "parent")
+
+    def __init__(self, qualname: str, name: str, cls: Optional[str],
+                 module: str, path: str, node: ast.AST,
+                 parent: Optional[str] = None):
+        self.qualname = qualname
+        self.name = name
+        self.cls = cls              # enclosing class *qualname*, or None
+        self.module = module
+        self.path = path
+        self.node = node
+        self.lineno = node.lineno
+        self.parent = parent        # enclosing function qualname (nested defs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<fn {self.qualname} @ {self.path}:{self.lineno}>"
+
+
+class ModuleInfo:
+    """One parsed source file."""
+
+    __slots__ = ("name", "path", "tree", "lines", "imports")
+
+    def __init__(self, name: str, path: str, tree: ast.Module,
+                 lines: List[str]):
+        self.name = name
+        self.path = path
+        self.tree = tree
+        self.lines = lines
+        #: local name -> dotted absolute target ("repro.iommu.iommu.Iommu")
+        self.imports: Dict[str, str] = {}
+
+
+def module_name_for(display_path: str) -> str:
+    """Dotted module name for a display path.
+
+    ``src/repro/core/driver.py`` -> ``repro.core.driver``; files outside
+    a ``repro`` directory fall back to the full dotted path (unique, so
+    resolution still works within the analyzed set).
+    """
+    parts = display_path.split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    parts = parts[:-1] + ([] if stem == "__init__" else [stem])
+    return ".".join(parts)
+
+
+class Program:
+    """The parsed whole-program view the flow passes share."""
+
+    def __init__(self, files: Sequence[Tuple[Path, str]]):
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class qualname -> {method name -> function qualname}
+        self.classes: Dict[str, Dict[str, str]] = {}
+        #: class qualname -> base-name strings (resolved lazily)
+        self.class_bases: Dict[str, List[str]] = {}
+        #: bare class name -> class qualnames
+        self.class_by_name: Dict[str, List[str]] = {}
+        #: bare name -> method qualnames / module-level function qualnames
+        self.methods_by_name: Dict[str, List[str]] = {}
+        self.funcs_by_name: Dict[str, List[str]] = {}
+        for path, display in files:
+            source = path.read_text()
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                continue  # the per-file pass reports RL000 for these
+            mod = ModuleInfo(module_name_for(display), display, tree,
+                             source.splitlines())
+            self.modules[mod.name] = mod
+            self.by_path[display] = mod
+            self._index_module(mod)
+
+    # -- indexing ------------------------------------------------------
+
+    def _index_module(self, mod: ModuleInfo) -> None:
+        self._collect_imports(mod)
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, node, cls=None, parent=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(mod, node)
+
+    def _collect_imports(self, mod: ModuleInfo) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mod.imports[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = self._absolute_import(mod, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    mod.imports[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}" if base else alias.name
+
+    @staticmethod
+    def _absolute_import(mod: ModuleInfo, node: ast.ImportFrom) -> str:
+        if not node.level:
+            return node.module or ""
+        # Relative import: strip ``level`` components off the module's
+        # package (the module itself is not a package here).
+        package = mod.name.split(".")[:-1]
+        if node.level > 1:
+            package = package[:len(package) - (node.level - 1)]
+        if node.module:
+            package = package + node.module.split(".")
+        return ".".join(package)
+
+    def _add_function(self, mod: ModuleInfo, node, cls: Optional[str],
+                      parent: Optional[str]) -> FunctionInfo:
+        owner = cls or parent or mod.name
+        qualname = f"{owner}.{node.name}"
+        info = FunctionInfo(qualname, node.name, cls, mod.name, mod.path,
+                            node, parent)
+        self.functions[qualname] = info
+        if cls is not None:
+            self.methods_by_name.setdefault(node.name, []).append(qualname)
+            self.classes[cls][node.name] = qualname
+        elif parent is None:
+            self.funcs_by_name.setdefault(node.name, []).append(qualname)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, child, cls=None, parent=qualname)
+        return info
+
+    def _add_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{mod.name}.{node.name}"
+        self.classes[qualname] = {}
+        self.class_by_name.setdefault(node.name, []).append(qualname)
+        bases = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        self.class_bases[qualname] = bases
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, child, cls=qualname, parent=None)
+
+    # -- resolution ----------------------------------------------------
+
+    def _resolve_class_name(self, mod: ModuleInfo, name: str) -> Optional[str]:
+        local = f"{mod.name}.{name}"
+        if local in self.classes:
+            return local
+        target = mod.imports.get(name)
+        if target and target in self.classes:
+            return target
+        candidates = self.class_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _class_method(self, cls: Optional[str], name: str,
+                      _depth: int = 0) -> Optional[str]:
+        """Look ``name`` up in ``cls`` and its known bases (shallow MRO)."""
+        if cls is None or _depth > 4:
+            return None
+        found = self.classes.get(cls, {}).get(name)
+        if found is not None:
+            return found
+        mod = self.modules.get(cls.rsplit(".", 1)[0])
+        for base in self.class_bases.get(cls, ()):
+            base_qn = (self._resolve_class_name(mod, base)
+                       if mod is not None else None)
+            if base_qn is None:
+                candidates = self.class_by_name.get(base, [])
+                base_qn = candidates[0] if len(candidates) == 1 else None
+            found = self._class_method(base_qn, name, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def _nested_def(self, caller: FunctionInfo, name: str) -> Optional[str]:
+        qualname = f"{caller.qualname}.{name}"
+        if qualname in self.functions:
+            return qualname
+        if caller.parent is not None:  # sibling nested defs
+            parent = self.functions.get(caller.parent)
+            if parent is not None:
+                return self._nested_def(parent, name)
+        return None
+
+    def resolve_call(self, caller: FunctionInfo,
+                     call: ast.Call) -> List[FunctionInfo]:
+        """Candidate callees of one call site (may-edges; possibly empty)."""
+        func = call.func
+        names: List[str] = []
+        if isinstance(func, ast.Name):
+            names = self._resolve_name(caller, func.id)
+        elif isinstance(func, ast.Attribute):
+            names = self._resolve_attribute(caller, func)
+        return [self.functions[n] for n in names if n in self.functions]
+
+    def _resolve_name(self, caller: FunctionInfo, name: str) -> List[str]:
+        nested = self._nested_def(caller, name)
+        if nested is not None:
+            return [nested]
+        mod = self.modules[caller.module]
+        local_fn = f"{mod.name}.{name}"
+        if local_fn in self.functions and \
+                self.functions[local_fn].cls is None:
+            return [local_fn]
+        cls = self._resolve_class_name(mod, name)
+        if cls is not None:
+            init = self.classes[cls].get("__init__")
+            return [init] if init else []
+        target = mod.imports.get(name)
+        if target is not None:
+            if target in self.functions:
+                return [target]
+            if target in self.classes:
+                init = self.classes[target].get("__init__")
+                return [init] if init else []
+        return []
+
+    def _resolve_attribute(self, caller: FunctionInfo,
+                           func: ast.Attribute) -> List[str]:
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in ("self", "cls") \
+                and caller.cls is not None:
+            found = self._class_method(caller.cls, func.attr)
+            if found is not None:
+                return [found]
+        # Class-qualified call: ``SomeClass.method(obj, ...)`` or an
+        # imported module's function: ``mod.func(...)``.
+        if isinstance(base, ast.Name):
+            mod = self.modules[caller.module]
+            cls = self._resolve_class_name(mod, base.id)
+            if cls is not None:
+                found = self._class_method(cls, func.attr)
+                if found is not None:
+                    return [found]
+            target = mod.imports.get(base.id)
+            if target is not None:
+                dotted = f"{target}.{func.attr}"
+                if dotted in self.functions:
+                    return [dotted]
+        # Fallback: every known method (or module function) of that name.
+        candidates = (self.methods_by_name.get(func.attr, [])
+                      + self.funcs_by_name.get(func.attr, []))
+        if 0 < len(candidates) <= _MAX_ATTR_CANDIDATES:
+            return candidates
+        return []
+
+    # -- iteration ------------------------------------------------------
+
+    def functions_in_order(self) -> List[FunctionInfo]:
+        """Deterministic order: by path, then line."""
+        return sorted(self.functions.values(),
+                      key=lambda f: (f.path, f.lineno, f.qualname))

@@ -1,0 +1,203 @@
+"""RL012 — stale captures in callbacks scheduled on the Environment.
+
+A callback handed to ``env.after``/``env.defer``/
+``env.schedule_callback`` runs *later*, at dispatch time.  A closure
+that captures a loop variable or a local that is reassigned/mutated
+after the schedule call therefore observes the *final* value, not the
+value at schedule time — the classic late-binding bug, and in a DES it
+is worse than in ordinary code because the gap between schedule and
+dispatch is the whole point of the scheduler.
+
+Flagged shapes (callback = lambda or a reference to a nested def):
+
+* the callback's free variable is the target of an enclosing ``for``
+  loop containing the schedule call — every scheduled callback will
+  see the last iteration's value;
+* the free variable is rebound (``x = ...``, ``x += ...``, ``del x``)
+  or mutated in place (``x.append(...)``, ``x[...] = ...``, ...)
+  later in the enclosing function — the callback sees the new state.
+
+Binding through a default (``lambda x=x: ...``) snapshots the value
+and is the canonical fix; defaults make the name a parameter, so such
+callbacks are naturally clean here.  Bound-method callbacks
+(``self._phase``) carry no free locals and are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import FunctionInfo, Program
+
+__all__ = ["CapturesPass"]
+
+_SCHEDULE_ATTRS = ("after", "defer", "schedule_callback")
+_MUTATORS = ("append", "add", "pop", "update", "extend", "insert",
+             "clear", "remove", "discard", "setdefault")
+
+_SKIP_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+
+def _mentions_env(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in ("env", "environment"):
+            return True
+        if isinstance(sub, ast.Attribute) and \
+                sub.attr in ("env", "environment", "_env"):
+            return True
+    return False
+
+
+def _bound_names(args: ast.arguments) -> Set[str]:
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _free_vars(node) -> Set[str]:
+    """Free variables of a lambda / nested def: names loaded in the
+    body that are neither parameters nor locally bound."""
+    if isinstance(node, ast.Lambda):
+        params = _bound_names(node.args)
+        body = [node.body]
+    else:
+        params = _bound_names(node.args)
+        body = list(node.body)
+    loads: Set[str] = set()
+    stores: Set[str] = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Load):
+                    loads.add(sub.id)
+                else:
+                    stores.add(sub.id)
+    return loads - params - stores
+
+
+class CapturesPass:
+    def __init__(self, program: Program):
+        self.program = program
+
+    # -- per-function facts ---------------------------------------------
+
+    @staticmethod
+    def _rebind_lines(fn: FunctionInfo) -> Dict[str, List[int]]:
+        """name -> lines where it is rebound or mutated in place."""
+        out: Dict[str, List[int]] = {}
+
+        def note(name: str, line: int):
+            out.setdefault(name, []).append(line)
+
+        def walk(node):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SKIP_SCOPES):
+                    continue
+                if isinstance(child, (ast.Assign, ast.AugAssign,
+                                      ast.AnnAssign)):
+                    targets = child.targets if isinstance(child, ast.Assign) \
+                        else [child.target]
+                    for t in targets:
+                        for sub in ast.walk(t):
+                            if isinstance(sub, ast.Name):
+                                note(sub.id, child.lineno)
+                elif isinstance(child, ast.Delete):
+                    for t in child.targets:
+                        if isinstance(t, ast.Name):
+                            note(t.id, child.lineno)
+                elif isinstance(child, ast.Call) and \
+                        isinstance(child.func, ast.Attribute) and \
+                        child.func.attr in _MUTATORS and \
+                        isinstance(child.func.value, ast.Name):
+                    note(child.func.value.id, child.lineno)
+                walk(child)
+
+        walk(fn.node)
+        return out
+
+    def _nested_defs(self, fn: FunctionInfo) -> Dict[str, ast.AST]:
+        out: Dict[str, ast.AST] = {}
+        for child in ast.walk(fn.node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and child is not fn.node:
+                out[child.name] = child
+        return out
+
+    def _is_env_schedule(self, fn: FunctionInfo, call: ast.Call) -> bool:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or \
+                func.attr not in _SCHEDULE_ATTRS:
+            return False
+        if _mentions_env(func.value):
+            return True
+        # ``self.after(...)`` inside the Environment class itself.
+        if isinstance(func.value, ast.Name) and func.value.id == "self" \
+                and fn.cls is not None:
+            return "environment" in fn.cls.rsplit(".", 1)[1].lower()
+        return False
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self):
+        """Yield raw findings as (path, line, code, message)."""
+        for fn in self.program.functions_in_order():
+            yield from self._check_function(fn)
+
+    def _check_function(self, fn: FunctionInfo):
+        rebinds = self._rebind_lines(fn)
+        nested = self._nested_defs(fn)
+        findings: List[Tuple[str, int, str, str]] = []
+
+        def visit(node, loop_targets: Tuple[str, ...]):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SKIP_SCOPES):
+                    continue
+                targets = loop_targets
+                if isinstance(child, (ast.For, ast.AsyncFor)):
+                    names = tuple(
+                        sub.id for sub in ast.walk(child.target)
+                        if isinstance(sub, ast.Name))
+                    targets = loop_targets + names
+                if isinstance(child, ast.Call) and \
+                        self._is_env_schedule(fn, child):
+                    self._check_call(fn, child, targets, rebinds, nested,
+                                     findings)
+                visit(child, targets)
+
+        visit(fn.node, ())
+        yield from findings
+
+    def _check_call(self, fn, call, loop_targets, rebinds, nested, findings):
+        for arg in list(call.args) + [k.value for k in call.keywords]:
+            callback: Optional[ast.AST] = None
+            if isinstance(arg, ast.Lambda):
+                callback = arg
+            elif isinstance(arg, ast.Name) and arg.id in nested:
+                callback = nested[arg.id]
+            if callback is None:
+                continue
+            for var in sorted(_free_vars(callback)):
+                if var in loop_targets:
+                    findings.append((
+                        fn.path, call.lineno, "RL012",
+                        f"callback scheduled on the environment captures "
+                        f"loop variable '{var}' — every dispatch will see "
+                        f"the last iteration's value; snapshot it with a "
+                        f"default argument ({var}={var}) or pass it as the "
+                        f"event value"))
+                    continue
+                lines = rebinds.get(var, ())
+                if any(line > call.lineno for line in lines):
+                    findings.append((
+                        fn.path, call.lineno, "RL012",
+                        f"callback scheduled on the environment captures "
+                        f"'{var}', which is rebound/mutated at line "
+                        f"{min(l for l in lines if l > call.lineno)} "
+                        f"before dispatch — the callback will observe the "
+                        f"mutated state; snapshot it with a default "
+                        f"argument or pass it as the event value"))

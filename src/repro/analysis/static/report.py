@@ -1,0 +1,256 @@
+"""Findings, suppression and the DMAsan coverage cross-check.
+
+This module is the front door of :mod:`repro.analysis.static`:
+``analyze_files`` runs every flow pass over a file set and returns
+:class:`FlowFinding` objects in the same ``path:line:col: CODE msg``
+shape the per-file linter uses, honouring the same inline
+``# lint: disable=RLxxx`` comments (``tools/lint`` layers its baseline
+machinery on top; this package deliberately does not import it —
+the dependency points the other way).
+
+Coverage cross-check
+--------------------
+DMAsan (:mod:`repro.analysis.sanitizer`) is the *dynamic* half of the
+protocol defence.  Each of its checkers must either have a static
+counterpart here (``STATIC_COUNTERPARTS``) or carry an explicit
+``# static: dynamic-only(<reason>)`` annotation at its ``_report``
+site.  ``coverage_check`` parses the sanitizer source and emits an
+``RLCOV`` finding for every checker that has neither — so adding a new
+runtime invariant *forces* a decision about its static story — and for
+every ``STATIC_COUNTERPARTS`` entry that no longer matches a real
+checker (stale map).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import Program
+from .captures import CapturesPass
+from .taint import TaintPass
+from .typestate import TypestatePass
+
+__all__ = [
+    "FlowFinding",
+    "FLOW_RULE_DOCS",
+    "STATIC_COUNTERPARTS",
+    "analyze_files",
+    "analyze_paths",
+    "coverage_check",
+    "verdict_for_failure",
+]
+
+FLOW_RULE_DOCS: Dict[str, str] = {
+    "RL009": "unmap can reach DMA initiation across calls with no "
+             "intervening IOTLB shootdown (interprocedural "
+             "use-after-unmap)",
+    "RL010": "pin/unpin imbalance along some acyclic path "
+             "(interprocedural pin leak)",
+    "RL011": "set-order / wall-clock / environ taint flows into an "
+             "event-schedule or trace-emit sink",
+    "RL012": "environment-scheduled callback captures mutable state "
+             "that changes before dispatch",
+    "RLCOV": "DMAsan runtime checker has neither a static counterpart "
+             "nor a '# static: dynamic-only(reason)' annotation",
+}
+
+#: DMAsan checker name -> static rule(s) standing in for it at analysis
+#: time.  Checkers absent here must be annotated dynamic-only in the
+#: sanitizer source or the coverage cross-check fails.
+STATIC_COUNTERPARTS: Dict[str, Tuple[str, ...]] = {
+    "missing-shootdown": ("RL006", "RL009"),
+    "use-after-unmap": ("RL006", "RL009"),
+    "pin-leak": ("RL010",),
+}
+
+# Same grammar as tools.lint's inline suppression.
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable(?:=([A-Z0-9, ]+))?")
+_DYNAMIC_ONLY_RE = re.compile(r"#\s*static:\s*dynamic-only\(([^)]*)\)")
+
+
+@dataclass
+class FlowFinding:
+    """One whole-program finding (RL009–RL012, RLCOV)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.code} {self.message}"
+
+
+def _suppressed(lines: Sequence[str], line: int, code: str) -> bool:
+    if not (1 <= line <= len(lines)):
+        return False
+    m = _DISABLE_RE.search(lines[line - 1])
+    if not m:
+        return False
+    if m.group(1) is None:
+        return True
+    return code in {c.strip() for c in m.group(1).split(",") if c.strip()}
+
+
+# -- coverage cross-check ----------------------------------------------------
+
+def _sanitizer_module(program: Program):
+    for path, mod in program.by_path.items():
+        if path.endswith("analysis/sanitizer.py"):
+            return mod
+    return None
+
+
+def sanitizer_checkers(mod) -> List[Tuple[str, int, int]]:
+    """(checker name, _report call line, checker-constant line) for
+    every ``self._report("<checker>", ...)`` site in the sanitizer."""
+    out: List[Tuple[str, int, int]] = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "_report" and node.args and \
+                isinstance(node.args[0], ast.Constant) and \
+                isinstance(node.args[0].value, str):
+            out.append((node.args[0].value, node.lineno,
+                        node.args[0].lineno))
+    return out
+
+
+def coverage_check(program: Program) -> List[FlowFinding]:
+    mod = _sanitizer_module(program)
+    if mod is None:
+        return []
+    sites = sanitizer_checkers(mod)
+    annotated_lines = {
+        i for i, text in enumerate(mod.lines, start=1)
+        if _DYNAMIC_ONLY_RE.search(text)
+    }
+    findings: List[FlowFinding] = []
+    first_site: Dict[str, Tuple[int, int]] = {}
+    covered: Set[str] = set()
+    for name, call_line, arg_line in sites:
+        first_site.setdefault(name, (call_line, arg_line))
+        if name in STATIC_COUNTERPARTS or call_line in annotated_lines \
+                or arg_line in annotated_lines:
+            covered.add(name)
+    for name in sorted(first_site):
+        if name not in covered:
+            call_line, _ = first_site[name]
+            findings.append(FlowFinding(
+                mod.path, call_line, 0, "RLCOV",
+                f"runtime checker '{name}' has no static counterpart "
+                f"(STATIC_COUNTERPARTS) and no '# static: "
+                f"dynamic-only(reason)' annotation — decide its static "
+                f"story"))
+    stale = sorted(set(STATIC_COUNTERPARTS) - {n for n, _, _ in sites})
+    for name in stale:
+        findings.append(FlowFinding(
+            mod.path, 1, 0, "RLCOV",
+            f"STATIC_COUNTERPARTS maps '{name}' but no DMAsan checker "
+            f"of that name exists — stale entry"))
+    return findings
+
+
+# -- driver ------------------------------------------------------------------
+
+def analyze_files(files: Sequence[Tuple[Path, str]],
+                  coverage: bool = True) -> List[FlowFinding]:
+    """Run every flow pass over ``(file, display path)`` pairs.
+
+    Inline ``# lint: disable=`` suppressions are honoured here;
+    baseline handling is the CLI's job.
+    """
+    program = Program(files)
+    raw: List[FlowFinding] = []
+    for path, line, code, message in TypestatePass(program).run():
+        raw.append(FlowFinding(path, line, 0, code, message))
+    for path, line, code, message in TaintPass(program).run():
+        raw.append(FlowFinding(path, line, 0, code, message))
+    for path, line, code, message in CapturesPass(program).run():
+        raw.append(FlowFinding(path, line, 0, code, message))
+    if coverage:
+        raw.extend(coverage_check(program))
+    out: List[FlowFinding] = []
+    for f in raw:
+        mod = program.by_path.get(f.path)
+        if mod is not None and _suppressed(mod.lines, f.line, f.code):
+            continue
+        out.append(f)
+    out.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    return out
+
+
+def analyze_paths(paths: Sequence[str],
+                  coverage: bool = True) -> List[FlowFinding]:
+    files: List[Tuple[Path, str]] = []
+    for arg in paths:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend((f, f.as_posix()) for f in sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append((p, p.as_posix()))
+    return analyze_files(files, coverage=coverage)
+
+
+# -- fuzzer tie-in -----------------------------------------------------------
+
+#: failure kind / detail keyword -> repro subpackages worth blaming.
+_SUBSYSTEMS: Tuple[Tuple[Tuple[str, ...], Tuple[str, ...]], ...] = (
+    (("ring", "backup", "merge", "doorbell"), ("nic",)),
+    (("pin", "residency", "resident", "frame", "swap"), ("mem", "core")),
+    (("unmap", "shootdown", "mapped", "iotlb", "translat"),
+     ("iommu", "core")),
+    (("rnr", "verbs", "qp", "retransmit"), ("transport", "nic")),
+)
+
+_VERDICT_CACHE: Dict[Tuple[str, ...], List[FlowFinding]] = {}
+
+
+def _src_tree_files() -> List[Tuple[Path, str]]:
+    root = Path(__file__).resolve().parents[3]  # .../src
+    pkg = root / "repro"
+    return [(f, f"src/{f.relative_to(root).as_posix()}")
+            for f in sorted(pkg.rglob("*.py"))]
+
+
+def verdict_for_failure(kind: str, details: str = "") -> dict:
+    """Static-analysis verdict for the modules implicated by a fuzzer
+    failure — attached to shrunk reproducer JSON so a dynamic failure
+    the static passes *missed* is recorded as an analyzer TODO.
+    """
+    text = f"{kind} {details}".lower()
+    prefixes: List[str] = []
+    for keywords, packages in _SUBSYSTEMS:
+        if any(k in text for k in keywords):
+            for p in packages:
+                if p not in prefixes:
+                    prefixes.append(p)
+    if not prefixes:  # crash / unknown: look at everything
+        prefixes = ["core", "iommu", "mem", "nic", "transport", "sim"]
+    cache_key = tuple(prefixes)
+    findings = _VERDICT_CACHE.get(cache_key)
+    if findings is None:
+        all_findings = analyze_files(_src_tree_files(), coverage=False)
+        wanted = tuple(f"src/repro/{p}/" for p in prefixes)
+        findings = [f for f in all_findings if f.path.startswith(wanted)]
+        _VERDICT_CACHE[cache_key] = findings
+    clean = not findings
+    return {
+        "modules": [f"repro.{p}" for p in prefixes],
+        "codes": sorted({f.code for f in findings}),
+        "findings": [f.render() for f in findings],
+        "analyzer_todo": clean,
+        "note": (
+            "static flow passes are clean on the implicated modules; "
+            "this dynamically-found failure is a recorded gap for the "
+            "static analyzer" if clean else
+            "static flow passes already report findings in the "
+            "implicated modules"
+        ),
+    }

@@ -1,0 +1,340 @@
+"""RL011 — interprocedural determinism taint.
+
+RL001–RL004 flag nondeterminism *sources* syntactically (wall-clock
+reads, unseeded RNG, ``id()``, iterating a set).  This pass follows the
+value: a taint label is attached where nondeterminism is *born* and
+propagated through assignments, expressions and function returns until
+it reaches one of the two places where it can corrupt reproducibility —
+the event schedule (an ``env.timeout/after/defer/schedule_callback``
+argument) or the trace/telemetry stream (``record*``/``emit*`` calls).
+Only a tainted value *arriving at a sink* is a finding; producing one
+and sorting it first is fine.
+
+Labels
+------
+``set-order``
+    A sequence whose order came from set iteration (``list(s)``,
+    ``tuple(s)``, ``for x in s`` with ``s`` a set, comprehensions over
+    sets).  Hash-seed dependent.
+``walltime``
+    Derived from the host clock (``walltime()`` helper — direct
+    ``time.time`` is already RL001).
+``environ``
+    Derived from ``os.environ``/``os.getenv``.
+
+``sorted()``/``min``/``max``/``len``/``sum``/``any``/``all`` cleanse
+order taint (their result no longer depends on iteration order).
+
+Interprocedural transfer is summary-based: each function exports the
+label set of its return value — with symbolic ``param:i`` labels so a
+pass-through helper transfers its *argument's* taint, not a fixed one —
+plus the set of parameters it forwards into a sink, so calling
+``emit_all(tainted)`` flags the call site.  Summaries iterate to a
+fixpoint (bounded), then a final pass reports findings.
+
+Analysis is flow-insensitive within a function (assignment order is
+ignored; a name's labels are the union over all its bindings), which
+over-approximates but keeps the pass linear and reruns cheap.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import FunctionInfo, Program
+from .typestate import ordered_calls
+
+__all__ = ["TaintPass"]
+
+ORDER = "set-order"
+WALL = "walltime"
+ENVIRON = "environ"
+SETVAL = "set"               # set-*typed*, not yet order-tainted
+TAINTS = (ORDER, WALL, ENVIRON)
+
+#: builtins whose result does not depend on the argument's iteration
+#: order — they launder order taint (and reduce sets to scalars).
+_CLEANSERS = ("sorted", "min", "max", "len", "sum", "any", "all")
+#: builtins that materialise their argument's iteration order.
+_SEQUENCERS = ("list", "tuple", "iter")
+
+_SCHEDULE_ATTRS = ("timeout", "after", "defer", "schedule_callback")
+_TRACE_ATTRS = ("emit", "emit_trace", "trace")
+
+_MAX_LOCAL_ROUNDS = 8
+_MAX_GLOBAL_ROUNDS = 8
+
+_SKIP_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+
+def _mentions_env(node: ast.AST) -> bool:
+    """Same receiver heuristic as RL008: does this expression reach
+    state through something called ``env``/``environment``?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in ("env", "environment"):
+            return True
+        if isinstance(sub, ast.Attribute) and \
+                sub.attr in ("env", "environment", "_env"):
+            return True
+    return False
+
+
+class _FnSummary:
+    __slots__ = ("returns", "sink_params")
+
+    def __init__(self):
+        self.returns: Set[str] = set()
+        self.sink_params: Set[int] = set()
+
+    def key(self) -> Tuple:
+        return (frozenset(self.returns), frozenset(self.sink_params))
+
+
+class TaintPass:
+    def __init__(self, program: Program):
+        self.program = program
+        self.summaries: Dict[str, _FnSummary] = {}
+
+    # -- expression labelling -------------------------------------------
+
+    def _call_labels(self, fn: FunctionInfo, call: ast.Call,
+                     env: Dict[str, Set[str]]) -> Set[str]:
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        arg_labels = [self._labels(fn, a, env) for a in call.args]
+        kw_labels = [self._labels(fn, k.value, env) for k in call.keywords]
+        if name in _CLEANSERS:
+            return set()
+        if name in ("set", "frozenset"):
+            return {SETVAL}
+        if name == "walltime":
+            return {WALL}
+        if name == "getenv" or (
+                isinstance(func, ast.Attribute) and func.attr == "getenv"):
+            return {ENVIRON}
+        if name in _SEQUENCERS:
+            out: Set[str] = set()
+            for lab in arg_labels:
+                out |= lab
+            if SETVAL in out:
+                out = (out - {SETVAL}) | {ORDER}
+            return out
+        candidates = self.program.resolve_call(fn, call)
+        if candidates:
+            out = set()
+            for callee in candidates:
+                summ = self.summaries.get(callee.qualname)
+                if summ is None:
+                    continue
+                offset = 1 if callee.cls is not None and \
+                    isinstance(func, ast.Attribute) else 0
+                for label in summ.returns:
+                    if label.startswith("param:"):
+                        idx = int(label.split(":", 1)[1]) - offset
+                        if 0 <= idx < len(arg_labels):
+                            out |= arg_labels[idx]
+                    else:
+                        out.add(label)
+            return out
+        # Unknown callee: pass value taint through, but a set handed to
+        # an unknown function yields an unknown (not set-typed) result.
+        out = set()
+        for lab in arg_labels + kw_labels:
+            out |= lab
+        return out - {SETVAL}
+
+    def _labels(self, fn: FunctionInfo, node: Optional[ast.AST],
+                env: Dict[str, Set[str]]) -> Set[str]:
+        if node is None or isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Name):
+            return set(env.get(node.id, ()))
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return {SETVAL}
+        if isinstance(node, ast.Call):
+            return self._call_labels(fn, node, env)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "os" \
+                    and node.attr == "environ":
+                return {ENVIRON}
+            return self._labels(fn, node.value, env)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            out: Set[str] = set()
+            for gen in node.generators:
+                out |= self._labels(fn, gen.iter, env)
+            if SETVAL in out:  # iterating a set materialises its order
+                out = (out - {SETVAL}) | {ORDER}
+            if isinstance(node, ast.DictComp):
+                out |= self._labels(fn, node.key, env)
+                out |= self._labels(fn, node.value, env)
+            else:
+                out |= self._labels(fn, node.elt, env)
+            return out
+        if isinstance(node, ast.Lambda):
+            return set()
+        out = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.expr, ast.keyword)):
+                out |= self._labels(
+                    fn, child.value if isinstance(child, ast.keyword)
+                    else child, env)
+        return out
+
+    # -- per-function fixpoint ------------------------------------------
+
+    @staticmethod
+    def _flat_stmts(fn: FunctionInfo):
+        def walk(node):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _SKIP_SCOPES):
+                    continue
+                if isinstance(child, ast.stmt):
+                    yield child
+                yield from walk(child)
+        yield from walk(fn.node)
+
+    def _bind(self, env: Dict[str, Set[str]], target: ast.AST,
+              labels: Set[str]) -> bool:
+        changed = False
+        if isinstance(target, ast.Name):
+            have = env.setdefault(target.id, set())
+            if not labels <= have:
+                have |= labels
+                changed = True
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                changed |= self._bind(env, elt, labels)
+        elif isinstance(target, ast.Starred):
+            changed |= self._bind(env, target.value, labels)
+        return changed
+
+    def _env_for(self, fn: FunctionInfo) -> Dict[str, Set[str]]:
+        args = fn.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        env: Dict[str, Set[str]] = {
+            name: {f"param:{i}"} for i, name in enumerate(names)
+        }
+        stmts = list(self._flat_stmts(fn))
+        for _ in range(_MAX_LOCAL_ROUNDS):
+            changed = False
+            for stmt in stmts:
+                if isinstance(stmt, ast.Assign):
+                    lab = self._labels(fn, stmt.value, env)
+                    for t in stmt.targets:
+                        changed |= self._bind(env, t, lab)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+                    changed |= self._bind(
+                        env, stmt.target, self._labels(fn, stmt.value, env))
+                elif isinstance(stmt, ast.AugAssign):
+                    changed |= self._bind(
+                        env, stmt.target, self._labels(fn, stmt.value, env))
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    lab = self._labels(fn, stmt.iter, env)
+                    if SETVAL in lab:  # for x in some_set
+                        lab = (lab - {SETVAL}) | {ORDER}
+                    changed |= self._bind(env, stmt.target, lab)
+            if not changed:
+                break
+        return env
+
+    def _summarize(self, fn: FunctionInfo) -> _FnSummary:
+        env = self._env_for(fn)
+        summ = _FnSummary()
+        for stmt in self._flat_stmts(fn):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                summ.returns |= self._labels(fn, stmt.value, env)
+        for _, sink_args, _ in self._sinks(fn, env):
+            for lab in sink_args:
+                for label in lab:
+                    if label.startswith("param:"):
+                        summ.sink_params.add(int(label.split(":", 1)[1]))
+        return summ
+
+    # -- sinks ----------------------------------------------------------
+
+    def _sinks(self, fn: FunctionInfo, env: Dict[str, Set[str]]):
+        """Yield (call, [arg label sets], sink kind) for sink calls."""
+        for call in ordered_calls(fn.node):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            kind = None
+            if func.attr in _SCHEDULE_ATTRS and _mentions_env(func.value):
+                kind = "event-schedule"
+            elif func.attr.startswith("record") or func.attr in _TRACE_ATTRS:
+                kind = "trace-emit"
+            if kind is None:
+                continue
+            labs = [self._labels(fn, a, env) for a in call.args]
+            labs += [self._labels(fn, k.value, env) for k in call.keywords]
+            yield call, labs, kind
+
+    # -- driver ---------------------------------------------------------
+
+    def _fixpoint(self):
+        fns = self.program.functions_in_order()
+        for fn in fns:
+            self.summaries[fn.qualname] = _FnSummary()
+        for _ in range(_MAX_GLOBAL_ROUNDS):
+            stable = True
+            for fn in fns:
+                new = self._summarize(fn)
+                if new.key() != self.summaries[fn.qualname].key():
+                    self.summaries[fn.qualname] = new
+                    stable = False
+            if stable:
+                break
+
+    def run(self):
+        """Yield raw findings as (path, line, code, message)."""
+        self._fixpoint()
+        for fn in self.program.functions_in_order():
+            env = self._env_for(fn)
+            seen: Set[Tuple[int, str]] = set()
+
+            def report(call, label, kind, how):
+                key = (call.lineno, label)
+                if key in seen:
+                    return None
+                seen.add(key)
+                return (fn.path, call.lineno, "RL011",
+                        f"{label}-tainted value reaches {kind} sink "
+                        f"`{call.func.attr}` {how}— nondeterminism "
+                        f"becomes schedule/trace-visible here")
+
+            for call, labs, kind in self._sinks(fn, env):
+                for lab in labs:
+                    for label in sorted(lab & set(TAINTS)):
+                        finding = report(call, label, kind, "")
+                        if finding:
+                            yield finding
+            # Taint forwarded into a callee that sinks it internally.
+            for call in ordered_calls(fn.node):
+                func = call.func
+                for callee in self.program.resolve_call(fn, call):
+                    summ = self.summaries.get(callee.qualname)
+                    if summ is None or not summ.sink_params:
+                        continue
+                    offset = 1 if callee.cls is not None and \
+                        isinstance(func, ast.Attribute) else 0
+                    for pidx in sorted(summ.sink_params):
+                        aidx = pidx - offset
+                        if not (0 <= aidx < len(call.args)):
+                            continue
+                        lab = self._labels(fn, call.args[aidx], env)
+                        for label in sorted(lab & set(TAINTS)):
+                            if not isinstance(func, (ast.Name,
+                                                     ast.Attribute)):
+                                continue
+                            key = (call.lineno, label)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            yield (fn.path, call.lineno, "RL011",
+                                   f"{label}-tainted argument is sunk by "
+                                   f"{callee.qualname} (via its parameter "
+                                   f"{pidx}) — nondeterminism becomes "
+                                   f"schedule/trace-visible there")

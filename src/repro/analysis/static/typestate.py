@@ -1,0 +1,424 @@
+"""RL009/RL010 — interprocedural page/pin lifecycle typestate.
+
+The protocol under test is the paper's DMA lifecycle::
+
+    map -> pin -> dma -> unpin -> unmap -> invalidate (IOTLB shootdown)
+
+RL006 already checks the unmap/shootdown pairing *per function body*;
+this pass removes that boundary.  Every function gets an **effect
+summary** computed over a linearised (AST-order, path-insensitive)
+stream of lifecycle events, where a call site either *is* an event
+(calls on lifecycle primitives: ``unmap``, ``invalidate*``, ``pin_*``,
+``translate``/``dma*``) or expands to its callees' summaries through
+the call graph.  Two rules fall out:
+
+RL009
+    An unmap whose stale translation can reach a DMA initiation —
+    in the same function or any transitively called one — with no
+    IOTLB shootdown in between.  This is the static face of DMAsan's
+    ``missing-shootdown``/``use-after-unmap`` runtime checkers, and it
+    sees straight through the driver→OS→IOMMU pipeline where RL006
+    stops at the first call edge.  Findings anchor at the unmap site.
+
+RL010
+    Pin/unpin imbalance along some acyclic path: the set of net pin
+    deltas a function can produce (computed by folding branch/return/
+    raise structure, loops taken exactly once, callee deltas inlined)
+    contains both a leak (``> 0``) and a smaller value — i.e. *some*
+    path pins without the matching unpin (the classic early-return
+    leak).  Uniform functions (``{+1}`` constructors, ``{-1}``
+    teardowns) are protocol-correct and never flagged, and a function
+    that merely *inherits* an already-flagged callee's variance is not
+    re-flagged (no cascades).  Static face of DMAsan ``pin-leak``.
+
+Raise paths deliberately contribute nothing to RL010: an aborted
+operation is allowed to leave cleanup to its caller's except block,
+and the rollback-then-reraise idiom would otherwise be all noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import FunctionInfo, Program
+
+__all__ = ["TypestatePass", "classify_call", "ordered_calls",
+           "UNMAP", "SHOOTDOWN", "DMA", "PIN", "UNPIN", "CALL", "OTHER"]
+
+# Lifecycle event kinds.
+UNMAP, SHOOTDOWN, DMA, PIN, UNPIN, CALL, OTHER = range(7)
+
+#: Stand-in for "the caller has an unflushed unmap" when computing the
+#: does-this-function-trip-on-incoming-pending half of a summary.
+_SENTINEL = ("<caller>", 0)
+
+#: Delta sets larger than this collapse to ``{min, max}`` — all RL010
+#: needs is the spread, not the lattice of intermediate sums.
+_MAX_DELTAS = 16
+
+_SKIP_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+
+def ordered_calls(node: ast.AST):
+    """Yield Call nodes under ``node`` in AST order, skipping nested
+    function/class/lambda scopes (they execute at *their* call time,
+    not here)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, _SKIP_SCOPES):
+            continue
+        if isinstance(child, ast.Call):
+            yield child
+        yield from ordered_calls(child)
+
+
+def _receiver_parts(node: ast.AST) -> List[str]:
+    """Lowercased name components of a call receiver, outermost first.
+
+    ``self.iommu.iotlb`` -> ``["self", "iommu", "iotlb"]``;
+    subscripts and calls are looked through (``self._domains[i]`` ->
+    ``["self", "_domains"]``).
+    """
+    parts: List[str] = []
+    cur = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            parts.append(cur.attr.lower())
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        elif isinstance(cur, ast.Call):
+            cur = cur.func
+        elif isinstance(cur, ast.Name):
+            parts.append(cur.id.lower())
+            break
+        else:
+            break
+    parts.reverse()
+    return parts
+
+
+_PIN_ATTRS = ("pin_page", "pin_range", "pin")
+_UNPIN_ATTRS = ("unpin_page", "unpin_range", "unpin")
+_UNMAP_ATTRS = ("unmap", "unmap_range")
+_DMA_RECEIVERS = ("iommu", "mr", "region")
+
+
+def classify_call(program: Program, caller: FunctionInfo,
+                  call: ast.Call) -> Tuple[int, list]:
+    """Classify one call site as a lifecycle event.
+
+    Returns ``(kind, payload)`` where payload is the candidate-callee
+    list for CALL and ``[]`` otherwise.  A call classified as a
+    primitive event is *never* also expanded as a call — the primitive
+    classification already captures its protocol effect (expanding
+    e.g. ``Iommu.unmap`` on top of the SHOOTDOWN classification would
+    double-count its internal invalidate).
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        recv = _receiver_parts(func.value)
+        if attr in _UNMAP_ATTRS:
+            # Unmapping *through the IOMMU object* pairs the page-table
+            # update with its IOTLB shootdown internally (same contract
+            # RL006 honours) — protocol-safe, and it flushes stale
+            # translations, so it acts as a shootdown here.
+            if any("iommu" in p for p in recv):
+                return SHOOTDOWN, []
+            return UNMAP, []
+        if attr.startswith(("invalidate", "shootdown")) \
+                or attr == "destroy_domain":
+            return SHOOTDOWN, []
+        if attr.startswith("dma"):
+            return DMA, []
+        if attr.startswith("translate"):
+            # A translation request against the IOMMU (or a memory
+            # region, which forwards to it) is the DMA initiation
+            # point.  CPU-side address-space translation
+            # (``space.translate``) is not DMA.
+            cls_name = caller.cls.rsplit(".", 1)[1].lower() if caller.cls \
+                else ""
+            if not any("space" in p for p in recv) and (
+                    "iommu" in cls_name
+                    or any(p in _DMA_RECEIVERS or "iommu" in p
+                           for p in recv)):
+                return DMA, []
+            return OTHER, []
+        if attr in _PIN_ATTRS:
+            return PIN, []
+        if attr in _UNPIN_ATTRS:
+            return UNPIN, []
+    candidates = program.resolve_call(caller, call)
+    if candidates:
+        return CALL, candidates
+    return OTHER, []
+
+
+class _Summary:
+    """RL009 effect summary of one function."""
+
+    __slots__ = ("trips", "clears", "pending_out", "intrinsic")
+
+    def __init__(self, trips: Optional[str] = None, clears: bool = False,
+                 pending_out: Optional[Tuple[str, int]] = None,
+                 intrinsic: Optional[List[Tuple[Tuple[str, int], str]]] = None):
+        #: description of the first DMA reachable while an *incoming*
+        #: pending unmap is still unflushed (None = cannot trip)
+        self.trips = trips
+        #: an incoming pending unmap is guaranteed flushed by exit
+        self.clears = clears
+        #: (path, line) of an own unmap left unflushed at exit
+        self.pending_out = pending_out
+        #: [(unmap_site, dma_description)] violations local to this fn
+        self.intrinsic = intrinsic or []
+
+
+_NEUTRAL = _Summary()
+
+
+class TypestatePass:
+    """Shared driver for RL009 + RL010 over one :class:`Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._events: Dict[str, List[Tuple[int, ast.Call, list]]] = {}
+        self._summaries: Dict[str, _Summary] = {}
+        self._deltas: Dict[str, FrozenSet[int]] = {}
+        self._delta_variance: Dict[str, bool] = {}
+        self._stack: Set[str] = set()
+
+    # -- event streams --------------------------------------------------
+
+    def events(self, fn: FunctionInfo) -> List[Tuple[int, ast.Call, list]]:
+        cached = self._events.get(fn.qualname)
+        if cached is None:
+            cached = []
+            for call in ordered_calls(fn.node):
+                kind, payload = classify_call(self.program, fn, call)
+                if kind != OTHER:
+                    cached.append((kind, call, payload))
+            self._events[fn.qualname] = cached
+        return cached
+
+    # -- RL009 ----------------------------------------------------------
+
+    def summary(self, fn: FunctionInfo) -> _Summary:
+        cached = self._summaries.get(fn.qualname)
+        if cached is not None:
+            return cached
+        if fn.qualname in self._stack:  # recursion: neutral effects
+            return _NEUTRAL
+        self._stack.add(fn.qualname)
+        try:
+            intrinsic, pending_out, _ = self._simulate(fn, None)
+            _, sent_pending, trips = self._simulate(fn, _SENTINEL)
+            summary = _Summary(
+                trips=trips,
+                clears=sent_pending is None,
+                pending_out=pending_out,
+                intrinsic=intrinsic,
+            )
+        finally:
+            self._stack.discard(fn.qualname)
+        self._summaries[fn.qualname] = summary
+        return summary
+
+    def _simulate(self, fn: FunctionInfo, pending):
+        """Fold the linear event stream from a given entry state.
+
+        Returns ``(violations, pending_at_exit, trips)`` where
+        violations pair an unmap site with the DMA description it can
+        reach, and trips is the first DMA description hit while the
+        sentinel (caller-owned pending) was live.
+        """
+        violations: List[Tuple[Tuple[str, int], str]] = []
+        trips: Optional[str] = None
+
+        def hit(dma_desc: str):
+            nonlocal trips
+            if pending is _SENTINEL:
+                if trips is None:
+                    trips = dma_desc
+            else:
+                entry = (pending, dma_desc)
+                if entry not in violations:
+                    violations.append(entry)
+
+        for kind, call, payload in self.events(fn):
+            if kind == UNMAP:
+                pending = (fn.path, call.lineno)
+            elif kind == SHOOTDOWN:
+                pending = None
+            elif kind == DMA:
+                if pending is not None:
+                    hit(f"DMA initiation at {fn.path}:{call.lineno}")
+            elif kind == CALL:
+                summaries = [(c, self.summary(c)) for c in payload]
+                if pending is not None:
+                    for callee, s in summaries:
+                        if s.trips:
+                            hit(f"{s.trips} (via {callee.qualname})")
+                            break
+                if summaries and all(s.clears for _, s in summaries):
+                    pending = None
+                for _, s in summaries:
+                    if s.pending_out is not None:
+                        pending = s.pending_out
+                        break
+        return violations, pending, trips
+
+    # -- RL010 ----------------------------------------------------------
+
+    def pin_deltas(self, fn: FunctionInfo) -> FrozenSet[int]:
+        cached = self._deltas.get(fn.qualname)
+        if cached is not None:
+            return cached
+        if fn.qualname in self._stack:
+            return frozenset((0,))
+        self._stack.add(fn.qualname)
+        try:
+            inherited = [False]
+            exit_, returns = self._block(fn, list(fn.node.body), inherited)
+            deltas = frozenset(exit_ | returns) or frozenset((0,))
+            if len(deltas) > _MAX_DELTAS:
+                deltas = frozenset((min(deltas), max(deltas)))
+        finally:
+            self._stack.discard(fn.qualname)
+        self._deltas[fn.qualname] = deltas
+        self._delta_variance[fn.qualname] = inherited[0]
+        return deltas
+
+    def inherited_variance(self, fn: FunctionInfo) -> bool:
+        """True when some expanded callee already had a multi-valued
+        delta set — the imbalance is attributed (and flagged) there."""
+        self.pin_deltas(fn)
+        return self._delta_variance[fn.qualname]
+
+    @staticmethod
+    def _cap(deltas: Set[int]) -> Set[int]:
+        if len(deltas) > _MAX_DELTAS:
+            return {min(deltas), max(deltas)}
+        return deltas
+
+    @classmethod
+    def _sum(cls, a: Set[int], b: Set[int]) -> Set[int]:
+        if not a or not b:
+            return set()
+        return cls._cap({x + y for x in a for y in b})
+
+    def _expr_deltas(self, fn: FunctionInfo, node, inherited) -> Set[int]:
+        """Net pin delta set of evaluating an expression (or several)."""
+        deltas: Set[int] = {0}
+        nodes = node if isinstance(node, list) else [node]
+        for n in nodes:
+            if n is None:
+                continue
+            calls = [n] if isinstance(n, ast.Call) else []
+            calls.extend(c for c in ordered_calls(n))
+            for call in calls:
+                kind, payload = classify_call(self.program, fn, call)
+                if kind == PIN:
+                    deltas = self._sum(deltas, {1})
+                elif kind == UNPIN:
+                    deltas = self._sum(deltas, {-1})
+                elif kind == CALL:
+                    callee: Set[int] = set()
+                    for c in payload:
+                        callee |= self.pin_deltas(c)
+                    if len(callee) > 1:
+                        inherited[0] = True
+                    deltas = self._sum(deltas, callee or {0})
+        return deltas
+
+    def _block(self, fn: FunctionInfo, stmts: Sequence[ast.stmt],
+               inherited) -> Tuple[Set[int], Set[int]]:
+        """Fold a statement list into (fall-through deltas, return
+        deltas), both relative to block entry.  An empty fall-through
+        set means no path reaches the end (all return/raise)."""
+        exit_: Set[int] = {0}
+        returns: Set[int] = set()
+        for stmt in stmts:
+            if not exit_:
+                break  # unreachable tail
+            se, sr = self._stmt(fn, stmt, inherited)
+            returns |= self._sum(exit_, sr)
+            exit_ = self._sum(exit_, se)
+        return exit_, self._cap(returns)
+
+    def _stmt(self, fn: FunctionInfo, stmt: ast.stmt,
+              inherited) -> Tuple[Set[int], Set[int]]:
+        if isinstance(stmt, ast.Return):
+            return set(), self._expr_deltas(fn, stmt.value, inherited)
+        if isinstance(stmt, ast.Raise):
+            # Aborted path: cleanup is the caller's except-block
+            # contract, not a leak.
+            return set(), set()
+        if isinstance(stmt, ast.If):
+            test = self._expr_deltas(fn, stmt.test, inherited)
+            be, br = self._block(fn, stmt.body, inherited)
+            oe, orr = self._block(fn, stmt.orelse, inherited)
+            return (self._cap(self._sum(test, be) | self._sum(test, oe)),
+                    self._sum(test, br) | self._sum(test, orr))
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+                else stmt.test
+            h = self._expr_deltas(fn, head, inherited)
+            be, br = self._block(fn, stmt.body, inherited)
+            ee, er = self._block(fn, stmt.orelse, inherited)
+            # Loop body taken exactly once: a pin-per-iteration balanced
+            # by an unpin-per-iteration elsewhere stays balanced, and a
+            # zero-iteration alternative would flag every bulk loop.
+            after = self._sum(h, be)
+            return (self._sum(after, ee),
+                    self._sum(h, br) | self._sum(after, er))
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            items = self._expr_deltas(
+                fn, [i.context_expr for i in stmt.items], inherited)
+            be, br = self._block(fn, stmt.body, inherited)
+            return self._sum(items, be), self._sum(items, br)
+        if isinstance(stmt, ast.Try):
+            be, br = self._block(fn, stmt.body, inherited)
+            ee, er = self._block(fn, stmt.orelse, inherited)
+            main_exit = self._sum(be, ee)
+            main_ret = br | self._sum(be, er)
+            handler_exit: Set[int] = set()
+            handler_ret: Set[int] = set()
+            for handler in stmt.handlers:
+                he, hr = self._block(fn, handler.body, inherited)
+                handler_exit |= he
+                handler_ret |= hr
+            fe, fr = self._block(fn, stmt.finalbody or [], inherited)
+            exits = self._cap(main_exit | handler_exit)
+            rets = self._cap(main_ret | handler_ret)
+            return self._sum(exits, fe), self._cap(self._sum(rets, fe) | fr)
+        if isinstance(stmt, _SKIP_SCOPES):
+            return {0}, set()
+        # Simple statements: Expr, Assign, AugAssign, Assert, Delete...
+        return self._expr_deltas(fn, stmt, inherited), set()
+
+    # -- findings -------------------------------------------------------
+
+    def run(self):
+        """Yield raw findings as (path, line, code, message)."""
+        seen: Set[Tuple[str, int, str]] = set()
+        for fn in self.program.functions_in_order():
+            for (site, dma_desc) in self.summary(fn).intrinsic:
+                key = (site[0], site[1], dma_desc)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield (site[0], site[1], "RL009",
+                       f"page unmapped here can reach {dma_desc} with no "
+                       f"intervening IOTLB shootdown (interprocedural "
+                       f"use-after-unmap, found in {fn.qualname})")
+            deltas = self.pin_deltas(fn)
+            if (len(deltas) > 1 and max(deltas) > 0
+                    and not self.inherited_variance(fn)):
+                spread = ", ".join(f"{d:+d}" for d in sorted(deltas))
+                yield (fn.path, fn.lineno, "RL010",
+                       f"pin/unpin imbalance in {fn.name}: net pin delta "
+                       f"across acyclic paths is {{{spread}}} — some path "
+                       f"leaks a pin (early return without the matching "
+                       f"unpin?)")

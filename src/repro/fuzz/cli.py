@@ -25,8 +25,23 @@ __all__ = ["main", "write_replay_file", "load_replay_file"]
 REPLAY_KIND = "repro-fuzz-failure"
 
 
+def static_verdict_for(failure: FuzzFailure) -> Optional[dict]:
+    """Static-analyzer verdict for the subsystems a failure implicates.
+
+    A dynamically-found failure over modules the flow passes consider
+    clean is a recorded analyzer TODO (``analyzer_todo: true`` in the
+    reproducer).  Best-effort: shrinking must never die on the analyzer.
+    """
+    try:
+        from ..analysis.static import verdict_for_failure
+        return verdict_for_failure(failure.kind, failure.details)
+    except Exception:  # pragma: no cover - analyzer failure must not
+        return None    # break the fuzz loop
+
+
 def write_replay_file(path: str, sc: Scenario, failure: FuzzFailure,
-                      evals: int = 0) -> None:
+                      evals: int = 0,
+                      static_verdict: Optional[dict] = None) -> None:
     payload = {
         "version": 1,
         "kind": REPLAY_KIND,
@@ -34,6 +49,8 @@ def write_replay_file(path: str, sc: Scenario, failure: FuzzFailure,
         "shrink_evals": evals,
         "scenario": sc.to_dict(),
     }
+    if static_verdict is not None:
+        payload["static_analysis"] = static_verdict
     with open(path, "w") as fh:
         json.dump(payload, fh, sort_keys=True, indent=1)
         fh.write("\n")
@@ -67,7 +84,9 @@ def _cmd_run(args) -> int:
         minimal, min_failure, evals = shrink(sc, max_evals=args.shrink_evals)
         os.makedirs(args.out, exist_ok=True)
         path = os.path.join(args.out, f"fail-s{args.seed}-i{i}.json")
-        write_replay_file(path, minimal, min_failure or failure, evals)
+        verdict = static_verdict_for(min_failure or failure)
+        write_replay_file(path, minimal, min_failure or failure, evals,
+                          static_verdict=verdict)
         print(
             f"[fuzz] shrunk to {len(minimal.ops)} op(s) / "
             f"{len(minimal.channels)} channel(s) in {evals} eval(s) -> {path}",

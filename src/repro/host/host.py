@@ -62,7 +62,10 @@ class IOUser:
             self.channel.post_recv(self.rx_pool.base + i * buffer_size, buffer_size)
         self.stack = TcpStack(host.env, self.channel, name, tcp_params)
 
-    def mmap(self, size: int, name: str = "", pinned: Optional[bool] = None):
+    # The pin below is region-lifetime by design: the app owns the region
+    # and pins die with the space (Space.close); DMAsan's pin-leak checker
+    # audits the balance at runtime.
+    def mmap(self, size: int, name: str = "", pinned: Optional[bool] = None):  # lint: disable=RL010
         """Allocate app memory; pinned by default iff the channel is pinned."""
         region = self.space.mmap(size, name=name)
         if pinned if pinned is not None else self.mode is RxMode.PIN:

@@ -337,7 +337,11 @@ class AddressSpace:
         if _hooks.active is not None:
             _hooks.active.on_unpin(self, vpn)
 
-    def pin_range(self, addr: int, size: int, detail: bool = False):
+    # Net-pin {0,+1} here is the size<=0 no-op vs the pinned range, and the
+    # bulk branch pins through _touch_bulk's direct shadow-state writes —
+    # both invisible to call-level analysis; DMAsan's pin-leak checker owns
+    # the runtime balance.
+    def pin_range(self, addr: int, size: int, detail: bool = False):  # lint: disable=RL010
         """Pin every page of ``[addr, addr+size)``; returns the populate faults.
 
         Returns a :class:`RangeFaults` aggregate (``detail=True`` for the

@@ -1,0 +1,35 @@
+"""Negative control: protocol-correct code none of the flow rules flag.
+
+Every pattern here is the *fixed* twin of a planted corpus bug:
+unmap paired with a shootdown before the next DMA, balanced pins on
+every path, sorted set iteration, and a default-bound callback.
+"""
+
+
+class CleanDriver:
+    def __init__(self, table, iommu, space, env, trace):
+        self.table = table
+        self.iommu = iommu
+        self.space = space
+        self.env = env
+        self.trace = trace
+
+    def recycle_slot(self, domain_id, iopn):
+        self.table.unmap(iopn)
+        self.iommu.iotlb.invalidate(domain_id, iopn)
+        return self.iommu.translate(domain_id, iopn)
+
+    def probe_page(self, vpn):
+        fault = self.space.pin_page(vpn)
+        self.space.unpin_page(vpn)
+        return fault
+
+    def flush(self, pages):
+        self.trace.record_pages(sorted(set(pages)))
+
+    def post_all(self, wrs, delay):
+        for wr in wrs:
+            self.env.after(delay, lambda ev, wr=wr: self._post(wr))
+
+    def _post(self, wr):
+        return wr

@@ -1,0 +1,26 @@
+"""Planted bug: set/dict-ordering taint reaching a trace emit.
+
+``_dirty_pages`` returns ``list(set(...))`` — a hash-seed-dependent
+order — through an innocent-looking helper.  The caller forwards it
+into the trace stream, so two runs of the same scenario can emit
+differently ordered traces.  Syntactic rules (RL004) cannot see this:
+no set is iterated at the sink; the taint arrives through the call.
+"""
+
+
+def _dirty_pages(table):
+    # Looks harmless: deduplicate the page list.
+    return list(set(table.modified()))
+
+
+class PageTracer:
+    def __init__(self, trace):
+        self.trace = trace
+
+    def flush(self, table):
+        pages = _dirty_pages(table)
+        # BUG: trace order now depends on the hash seed.
+        self.trace.record_pages(pages)  # PLANT: RL011
+
+    def flush_sorted(self, table):
+        self.trace.record_pages(sorted(_dirty_pages(table)))

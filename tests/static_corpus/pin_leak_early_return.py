@@ -1,0 +1,25 @@
+"""Planted bug: pin leak via early return.
+
+``probe_page`` pins, then returns early on the fast path without the
+matching unpin — the classic imbalance DMAsan's pin-leak checker only
+catches when a test happens to drive that path.  RL010 flags the
+function: its net pin delta set is {0, +1}.
+"""
+
+
+class PagePprobe:
+    def __init__(self, space):
+        self.space = space
+
+    def probe_page(self, vpn, keep):  # PLANT: RL010
+        fault = self.space.pin_page(vpn)
+        if keep:
+            # BUG: early return keeps the pin with no owner to drop it.
+            return fault
+        self.space.unpin_page(vpn)
+        return None
+
+    def balanced_probe(self, vpn):
+        fault = self.space.pin_page(vpn)
+        self.space.unpin_page(vpn)
+        return fault

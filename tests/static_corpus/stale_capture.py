@@ -1,0 +1,22 @@
+"""Planted bug: environment callback capturing a loop variable.
+
+Every callback scheduled in the loop closes over ``wr`` late-bound:
+by the time the DES dispatches them, all of them observe the *last*
+work request.  The fix is snapshotting via a default argument
+(``wr=wr``) — which ``post_all_fixed`` demonstrates and RL012 accepts.
+"""
+
+
+class DoorbellBatcher:
+    def __init__(self, env, nic):
+        self.env = env
+        self.nic = nic
+
+    def post_all(self, wrs, delay):
+        for wr in wrs:
+            # BUG: late binding; every dispatch sees the last wr.
+            self.env.after(delay, lambda ev: self.nic.post(wr))  # PLANT: RL012
+
+    def post_all_fixed(self, wrs, delay):
+        for wr in wrs:
+            self.env.after(delay, lambda ev, wr=wr: self.nic.post(wr))

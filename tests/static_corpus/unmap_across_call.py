@@ -1,0 +1,24 @@
+"""Planted bug: unmap-without-shootdown hidden behind a call edge.
+
+``_teardown_slot`` documents a caller-shoots-down contract (the RL006
+per-function rule is suppressed inline, exactly how a real helper would
+ship), but ``recycle_slot`` breaks the contract: it tears the slot down
+and immediately initiates DMA through the IOMMU without invalidating
+the IOTLB.  Only the interprocedural pass (RL009) can see this.
+"""
+
+
+class SlotRecycler:
+    def __init__(self, table, iommu):
+        self.table = table
+        self.iommu = iommu
+
+    def _teardown_slot(self, iopn):
+        # Contract: the caller owns the IOTLB shootdown for this page.
+        self.table.unmap(iopn)  # lint: disable=RL006  # PLANT: RL009
+
+    def recycle_slot(self, domain_id, iopn):
+        self._teardown_slot(iopn)
+        # BUG: stale IOTLB entry still maps iopn; this translation can
+        # hit it (use-after-unmap).  A shootdown belongs before it.
+        return self.iommu.translate(domain_id, iopn)

@@ -1,0 +1,284 @@
+"""Tests for the whole-program flow analysis (repro.analysis.static).
+
+The planted-bug corpus under ``tests/static_corpus/`` is *analyzed*,
+never imported: each file carries a ``# PLANT: RLxxx`` marker on the
+exact line the corresponding rule must flag.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = Path(__file__).resolve().parent / "static_corpus"
+sys.path.insert(0, str(REPO))
+
+from repro.analysis.static import (  # noqa: E402
+    FLOW_RULE_DOCS,
+    STATIC_COUNTERPARTS,
+    analyze_files,
+    analyze_paths,
+    verdict_for_failure,
+)
+from repro.analysis.static import report as static_report  # noqa: E402
+from tools.lint import load_baseline  # noqa: E402
+from tools.lint.__main__ import main as lint_main  # noqa: E402
+from tools.lint.cache import LintCache  # noqa: E402
+
+
+def _corpus_files():
+    return [(f, f.relative_to(REPO).as_posix())
+            for f in sorted(CORPUS.glob("*.py"))]
+
+
+def _plant_lines(path: Path, code: str):
+    """1-based lines carrying a ``# PLANT: <code>`` marker."""
+    return [
+        i for i, text in enumerate(path.read_text().splitlines(), start=1)
+        if f"# PLANT: {code}" in text
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus_findings():
+    return analyze_files(_corpus_files())
+
+
+# -- the planted bugs, each caught at the exact marked line ------------------
+
+@pytest.mark.parametrize("name,code", [
+    ("unmap_across_call.py", "RL009"),
+    ("pin_leak_early_return.py", "RL010"),
+    ("dict_order_taint.py", "RL011"),
+    ("stale_capture.py", "RL012"),
+])
+def test_corpus_bug_detected_at_marked_line(corpus_findings, name, code):
+    path = CORPUS / name
+    display = path.relative_to(REPO).as_posix()
+    expected_lines = _plant_lines(path, code)
+    assert expected_lines, f"{name} has no PLANT marker for {code}"
+    hits = [f for f in corpus_findings
+            if f.path == display and f.code == code]
+    assert hits, (f"{code} not raised for {name}; findings: "
+                  + "; ".join(f.render() for f in corpus_findings))
+    assert sorted(f.line for f in hits) == expected_lines, \
+        "; ".join(f.render() for f in hits)
+
+
+def test_corpus_clean_module_and_fixed_twins_not_flagged(corpus_findings):
+    # The negative control is silent...
+    clean = [f for f in corpus_findings
+             if f.path.endswith("clean_module.py")]
+    assert clean == [], "; ".join(f.render() for f in clean)
+    # ...and the fixed twins inside the buggy files are too: every
+    # finding sits on a PLANT-marked line of its own code.
+    for f in corpus_findings:
+        assert f.line in _plant_lines(REPO / f.path, f.code), f.render()
+
+
+def test_rule_docs_cover_all_flow_codes(corpus_findings):
+    assert {"RL009", "RL010", "RL011", "RL012", "RLCOV"} <= set(
+        FLOW_RULE_DOCS)
+    for f in corpus_findings:
+        assert f.code in FLOW_RULE_DOCS
+
+
+# -- acceptance criterion: the real tree is flow-clean -----------------------
+
+def test_src_tree_is_flow_clean():
+    findings = analyze_paths([str(REPO / "src")])
+    baseline = load_baseline(REPO / "tools" / "lint" / "baseline_flow.txt")
+    assert baseline == set(), "flow baseline must stay empty"
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_flow_over_src_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.lint", "flow", "src/"],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+# -- DMAsan coverage cross-check ---------------------------------------------
+
+def _fake_sanitizer(tmp_path, body):
+    # Every mapped checker must exist somewhere in the file or the
+    # stale-entry check (rightly) fires; give the fake all of them.
+    mapped = "\n".join(
+        f'        self._report("{name}", "x")'
+        for name in sorted(STATIC_COUNTERPARTS)
+    )
+    f = tmp_path / "sanitizer.py"
+    f.write_text(textwrap.dedent(body)
+                 + f"\n\nclass _Mapped:\n    def all(self):\n{mapped}\n")
+    return [(f, "src/repro/analysis/sanitizer.py")]
+
+
+def test_coverage_flags_unmapped_unannotated_checker(tmp_path):
+    files = _fake_sanitizer(tmp_path, """\
+        class San:
+            def check(self):
+                self._report("novel-checker", "boom")
+        """)
+    findings = analyze_files(files)
+    assert [f.code for f in findings] == ["RLCOV"]
+    assert "novel-checker" in findings[0].message
+
+
+def test_coverage_accepts_dynamic_only_annotation(tmp_path):
+    files = _fake_sanitizer(tmp_path, """\
+        class San:
+            def check(self):
+                self._report(
+                    "novel-checker",  # static: dynamic-only(runtime state)
+                    "boom",
+                )
+        """)
+    assert analyze_files(files) == []
+
+
+def test_coverage_accepts_static_counterpart(tmp_path):
+    files = _fake_sanitizer(tmp_path, """\
+        class San:
+            def check(self):
+                self._report("pin-leak", "boom")
+        """)
+    assert analyze_files(files) == []
+
+
+def test_coverage_flags_stale_counterpart_entry(tmp_path, monkeypatch):
+    files = _fake_sanitizer(tmp_path, """\
+        class San:
+            def check(self):
+                self._report("pin-leak", "boom")
+        """)  # built before the patch: the ghost checker must not exist
+    monkeypatch.setitem(static_report.STATIC_COUNTERPARTS,
+                        "ghost-checker", ("RL009",))
+    findings = analyze_files(files)
+    assert [f.code for f in findings] == ["RLCOV"]
+    assert "ghost-checker" in findings[0].message
+
+
+def test_every_real_dmasan_checker_is_covered():
+    # The real sanitizer passes the cross-check (part of flow-clean),
+    # and the counterpart map points at real flow/lint rules.
+    for codes in STATIC_COUNTERPARTS.values():
+        for code in codes:
+            assert code.startswith("RL")
+
+
+# -- machine-readable output -------------------------------------------------
+
+def test_cli_json_output_both_modes(tmp_path):
+    bad = tmp_path / "repro"
+    bad.mkdir()
+    (bad / "clock.py").write_text("import time\nnow = time.time()\n")
+    for mode_args in ([], ["--flow"]):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "--json", "--no-cache",
+             *mode_args, str(bad)],
+            cwd=REPO, capture_output=True, text=True,
+        )
+        payload = json.loads(proc.stdout)
+        assert payload["mode"] == ("flow" if mode_args else "file")
+        assert payload["clean"] is (payload["count"] == 0)
+        if not mode_args:  # RL001 is a per-file finding
+            assert proc.returncode == 1
+            assert payload["findings"][0]["code"] == "RL001"
+            assert payload["findings"][0]["fingerprint"].startswith("RL001|")
+
+
+# -- result cache ------------------------------------------------------------
+
+def test_cache_roundtrip_and_content_invalidation(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.chdir(REPO)
+    target = tmp_path / "repro"
+    target.mkdir()
+    mod = target / "clock.py"
+    mod.write_text("import time\nnow = time.time()\n")
+
+    rc_cold = lint_main(["--no-baseline", str(target)])
+    assert rc_cold == 1
+    cache_files = list((tmp_path / "cache" / "lint").rglob("*.json"))
+    assert cache_files, "cold run must populate the cache"
+
+    rc_warm = lint_main(["--no-baseline", str(target)])
+    assert rc_warm == 1  # cache hit reports the same finding
+
+    # Editing the file changes its content hash: the fix is seen.
+    mod.write_text("now = 0\n")
+    assert lint_main(["--no-baseline", str(target)]) == 0
+
+
+def test_cache_key_depends_on_tool_sources(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = LintCache()
+    key1 = cache.file_key("src/repro/x.py", b"x = 1\n")
+    assert key1 == cache.file_key("src/repro/x.py", b"x = 1\n")
+    assert key1 != cache.file_key("src/repro/x.py", b"x = 2\n")
+    assert key1 != cache.file_key("src/repro/y.py", b"x = 1\n")
+    # A different tool fingerprint (rule change) drops every entry.
+    cache2 = LintCache()
+    cache2._tool_fp = "0" * 64
+    assert key1 != cache2.file_key("src/repro/x.py", b"x = 1\n")
+
+
+def test_flow_cache_warm_run_hits(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.chdir(REPO)
+    target = tmp_path / "repro"
+    target.mkdir()
+    (target / "mod.py").write_text(textwrap.dedent("""\
+        def teardown(table, iommu, domain_id, iopn):
+            table.unmap(iopn)
+            return iommu.translate(domain_id, iopn)
+        """))
+    assert lint_main(["--flow", "--no-baseline", str(target)]) == 1
+    flow_entries = list((tmp_path / "cache" / "lint").rglob("*.json"))
+    assert flow_entries
+    assert lint_main(["--flow", "--no-baseline", str(target)]) == 1
+
+
+# -- fuzzer tie-in -----------------------------------------------------------
+
+def test_verdict_for_failure_maps_subsystems_and_records_todo():
+    verdict = verdict_for_failure(
+        "sanitizer", "backup ring popped an entry out of FIFO order")
+    assert "repro.nic" in verdict["modules"]
+    # The tree is flow-clean, so a dynamic failure here is a recorded
+    # static-analyzer TODO.
+    assert verdict["analyzer_todo"] is True
+    assert verdict["findings"] == []
+    assert "gap" in verdict["note"]
+
+
+def test_verdict_unknown_kind_scans_broadly():
+    verdict = verdict_for_failure("crash", "")
+    assert "repro.core" in verdict["modules"]
+    assert "repro.iommu" in verdict["modules"]
+
+
+def test_replay_file_carries_static_verdict(tmp_path):
+    from repro.fuzz.cli import load_replay_file, write_replay_file
+    from repro.fuzz.generate import generate_scenario
+    from repro.fuzz.oracle import FuzzFailure
+
+    sc = generate_scenario(0, 1234)
+    failure = FuzzFailure(kind="sanitizer", details="pin-leak: vpn=3")
+    path = tmp_path / "fail.json"
+    write_replay_file(str(path), sc, failure, evals=7,
+                      static_verdict=verdict_for_failure(
+                          failure.kind, failure.details))
+    payload = json.loads(path.read_text())
+    sa = payload["static_analysis"]
+    assert sa["analyzer_todo"] is True
+    assert "repro.mem" in sa["modules"]
+    # Round trip still loads.
+    assert load_replay_file(str(path)).to_dict() == sc.to_dict()

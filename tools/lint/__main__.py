@@ -1,22 +1,30 @@
-"""CLI for the repro-lint pass.
+"""CLI for the repro-lint passes.
 
 Usage::
 
-    python -m tools.lint src/                 # lint, honouring the baseline
+    python -m tools.lint src/                 # per-file pass (RL001-RL008)
+    python -m tools.lint flow src/            # whole-program pass (RL009+)
+    python -m tools.lint --flow src/          # same, flag spelling
+    python -m tools.lint --json src/          # machine-readable output
     python -m tools.lint --fix src/           # apply mechanical fixes
     python -m tools.lint --update-baseline src/
     python -m tools.lint --list-rules
 
-Exit status is 0 when no unsuppressed findings remain, 1 otherwise.
+Results are cached under ``.repro-cache/lint/`` keyed by file content
+and the lint/flow sources themselves, so warm runs are sub-second;
+``--no-cache`` bypasses the cache.  Exit status is 0 when no
+unsuppressed findings remain, 1 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import hashlib
+import json
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from . import (
     Finding,
@@ -27,9 +35,11 @@ from . import (
     lint_file,
     load_baseline,
 )
+from .cache import LintCache
 from .rules import _walltime_import_fix
 
 DEFAULT_BASELINE = Path(__file__).with_name("baseline.txt")
+DEFAULT_FLOW_BASELINE = Path(__file__).with_name("baseline_flow.txt")
 
 _FIXABLE = ("RL001", "RL004")
 
@@ -74,27 +84,118 @@ def _apply_fixes(path: Path, display: str, findings: List[Finding]) -> int:
     return len(fixes)
 
 
+def _lint_one(f: Path, display: str,
+              cache: Optional[LintCache]) -> List[Tuple[Finding, str]]:
+    """Per-file findings with fingerprints, through the cache."""
+    content = f.read_bytes()
+    key = cache.file_key(display, content) if cache else None
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return cache.decode_findings(hit, Finding)
+    findings = lint_file(f, display)
+    lines = content.decode(errors="replace").splitlines()
+    pairs = [(x, fingerprint(x, lines)) for x in findings]
+    if cache is not None:
+        cache.put(key, cache.encode_findings(pairs))
+    return pairs
+
+
+def _run_flow(files: List[Tuple[Path, str]],
+              cache: Optional[LintCache]) -> List[Tuple[Finding, str]]:
+    """Whole-program findings with fingerprints, through the cache."""
+    contents: Dict[str, bytes] = {d: f.read_bytes() for f, d in files}
+    key = None
+    if cache is not None:
+        pairs = [(d, hashlib.sha256(contents[d]).hexdigest())
+                 for _, d in files]
+        key = cache.flow_key(pairs)
+        hit = cache.get(key)
+        if hit is not None:
+            return cache.decode_findings(hit, Finding)
+    # Import lazily: the flow passes live in src/repro and need the
+    # package importable (the Makefile exports PYTHONPATH=src).
+    try:
+        from repro.analysis.static import analyze_files
+    except ImportError:
+        src = Path(__file__).resolve().parent.parent.parent / "src"
+        sys.path.insert(0, str(src))
+        from repro.analysis.static import analyze_files
+    out: List[Tuple[Finding, str]] = []
+    for flow in analyze_files(files):
+        finding = Finding(flow.path, flow.line, flow.col, flow.code,
+                          flow.message)
+        lines = contents.get(flow.path, b"") \
+            .decode(errors="replace").splitlines()
+        out.append((finding, fingerprint(finding, lines)))
+    if cache is not None:
+        cache.put(key, cache.encode_findings(out))
+    return out
+
+
+def _emit_json(mode: str, reported: List[Tuple[Finding, str]],
+               baselined: int) -> None:
+    print(json.dumps({
+        "mode": mode,
+        "clean": not reported,
+        "count": len(reported),
+        "baselined": baselined,
+        "findings": [
+            {
+                "path": f.path, "line": f.line, "col": f.col + 1,
+                "code": f.code, "message": f.message, "fingerprint": fp,
+            }
+            for f, fp in reported
+        ],
+    }, indent=2))
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.lint",
-        description="Determinism / DMA-invariant lint for the repro substrate.",
+        description="Determinism / DMA-invariant lint for the repro "
+                    "substrate (per-file rules RL001-RL008; 'flow' runs "
+                    "the whole-program RL009-RL012 + RLCOV passes).",
     )
-    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint; a leading "
+                             "'flow' selects the whole-program pass")
+    parser.add_argument("--flow", action="store_true",
+                        help="run the whole-program flow pass "
+                             "(repro.analysis.static) instead of the "
+                             "per-file rules")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON output")
     parser.add_argument("--fix", action="store_true",
                         help="apply mechanical fixes (RL001, RL004)")
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help="baseline file (default: tools/lint/baseline.txt)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: baseline.txt, or "
+                             "baseline_flow.txt in flow mode)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="report baselined findings too")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from current findings")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the .repro-cache/lint result cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
 
+    if args.paths and args.paths[0] == "flow":
+        args.flow = True
+        args.paths = args.paths[1:]
+
     if args.list_rules:
-        for code in sorted(RULE_DOCS):
-            print(f"{code}  {RULE_DOCS[code]}")
+        docs = dict(RULE_DOCS)
+        try:
+            from repro.analysis.static import FLOW_RULE_DOCS
+        except ImportError:
+            src = Path(__file__).resolve().parent.parent.parent / "src"
+            sys.path.insert(0, str(src))
+            from repro.analysis.static import FLOW_RULE_DOCS
+        docs.update(FLOW_RULE_DOCS)
+        for code in sorted(docs):
+            print(f"{code}  {docs[code]}")
         return 0
     if not args.paths:
         parser.error("no paths given (try: python -m tools.lint src/)")
@@ -104,26 +205,37 @@ def main(argv: List[str] | None = None) -> int:
         print("no python files found", file=sys.stderr)
         return 1
 
+    cache = None if args.no_cache else LintCache()
+    mode = "flow" if args.flow else "file"
+    baseline_path = args.baseline or (
+        DEFAULT_FLOW_BASELINE if args.flow else DEFAULT_BASELINE)
+
     all_findings: List[Tuple[Finding, str]] = []  # (finding, fingerprint)
-    for f, display in files:
-        findings = lint_file(f, display)
-        if args.fix and _apply_fixes(f, display, findings):
-            findings = lint_file(f, display)  # re-lint the fixed source
-        lines = f.read_text().splitlines()
-        for finding in findings:
-            all_findings.append((finding, fingerprint(finding, lines)))
+    if args.flow:
+        all_findings = _run_flow(files, cache)
+    else:
+        for f, display in files:
+            pairs = _lint_one(f, display, cache)
+            if args.fix and _apply_fixes(f, display,
+                                         [x for x, _ in pairs]):
+                pairs = _lint_one(f, display, cache)  # re-lint fixed source
+            all_findings.extend(pairs)
 
     if args.update_baseline:
-        args.baseline.write_text(format_baseline(all_findings))
+        baseline_path.write_text(format_baseline(all_findings))
         print(f"baseline: {len(all_findings)} entr"
-              f"{'y' if len(all_findings) == 1 else 'ies'} -> {args.baseline}")
+              f"{'y' if len(all_findings) == 1 else 'ies'} "
+              f"-> {baseline_path}")
         return 0
 
-    baseline = set() if args.no_baseline else load_baseline(args.baseline)
-    reported = [f for f, fp in all_findings if fp not in baseline]
-    for finding in reported:
-        print(finding.render())
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    reported = [(f, fp) for f, fp in all_findings if fp not in baseline]
     suppressed = len(all_findings) - len(reported)
+    if args.as_json:
+        _emit_json(mode, reported, suppressed)
+        return 1 if reported else 0
+    for finding, _ in reported:
+        print(finding.render())
     if reported:
         print(f"\n{len(reported)} finding(s)"
               + (f" ({suppressed} baselined)" if suppressed else ""))

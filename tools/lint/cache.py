@@ -1,0 +1,150 @@
+"""Content-hash result cache for the lint + flow passes.
+
+Same idiom as the experiment runner's ``.repro-cache/`` store
+(``repro.experiments.runner``): content-addressed JSON blobs under
+``.repro-cache/lint/`` (override the root with ``REPRO_CACHE_DIR``),
+two-hex-char shard directories, atomic publish via temp file +
+``os.replace`` so concurrent runs never read a torn entry.
+
+Two kinds of entry:
+
+* **per-file**: findings of the per-file pass, keyed by the sha256 of
+  (tool fingerprint, display path, file bytes).  Editing the file or
+  any lint/flow source invalidates the entry; nothing else does.
+* **flow**: the whole-program pass result, keyed by the sha256 of the
+  tool fingerprint plus every (display path, content sha) pair — the
+  flow result depends on *all* inputs, so one key covers the run.
+
+The tool fingerprint hashes ``tools/lint/*.py`` **and**
+``src/repro/analysis/static/*.py``: changing any rule implementation
+drops the whole cache, so stale results cannot mask a new rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LintCache"]
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: directories whose .py sources define the analysis itself
+_TOOL_SOURCE_DIRS = (
+    Path(__file__).resolve().parent,                       # tools/lint
+    _REPO_ROOT / "src" / "repro" / "analysis" / "static",  # flow passes
+)
+
+
+def _tool_fingerprint() -> str:
+    h = hashlib.sha256()
+    for root in _TOOL_SOURCE_DIRS:
+        if not root.is_dir():
+            continue
+        for f in sorted(root.glob("*.py")):
+            h.update(f.name.encode())
+            h.update(b"\0")
+            h.update(f.read_bytes())
+            h.update(b"\0")
+    return h.hexdigest()
+
+
+class LintCache:
+    """Content-addressed store for lint/flow results."""
+
+    def __init__(self, root: Optional[Path] = None):
+        if root is None:
+            root = Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+        self.root = root / "lint"
+        self._tool_fp: Optional[str] = None
+
+    @property
+    def tool_fp(self) -> str:
+        if self._tool_fp is None:
+            self._tool_fp = _tool_fingerprint()
+        return self._tool_fp
+
+    # -- keys -----------------------------------------------------------
+
+    def file_key(self, display: str, content: bytes) -> str:
+        h = hashlib.sha256()
+        h.update(self.tool_fp.encode())
+        h.update(b"\0file\0")
+        h.update(display.encode())
+        h.update(b"\0")
+        h.update(content)
+        return h.hexdigest()
+
+    def flow_key(self, pairs: Sequence[Tuple[str, str]]) -> str:
+        """One key for the whole-program run: every (display path,
+        content sha256) pair participates."""
+        h = hashlib.sha256()
+        h.update(self.tool_fp.encode())
+        h.update(b"\0flow\0")
+        for display, sha in pairs:
+            h.update(display.encode())
+            h.update(b"\0")
+            h.update(sha.encode())
+            h.update(b"\0")
+        return h.hexdigest()
+
+    # -- storage --------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        path = self._path(key)
+        try:
+            with path.open("r") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Any) -> None:
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, separators=(",", ":"))
+                os.replace(tmp, path)  # atomic publish
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # cache is best-effort; a read-only FS must not fail lint
+
+    # -- (de)serialisation ----------------------------------------------
+
+    @staticmethod
+    def encode_findings(findings: Sequence[Tuple[Any, str]]) -> List[Dict]:
+        """Serialise (Finding, fingerprint) pairs (fingerprints are
+        precomputed so cache hits never re-read the source)."""
+        return [
+            {
+                "path": f.path, "line": f.line, "col": f.col,
+                "code": f.code, "message": f.message,
+                "fix": list(f.fix) if f.fix is not None else None,
+                "fp": fp,
+            }
+            for f, fp in findings
+        ]
+
+    @staticmethod
+    def decode_findings(payload: List[Dict], finding_cls) -> List[Tuple[Any, str]]:
+        out = []
+        for d in payload:
+            fix = tuple(d["fix"]) if d.get("fix") is not None else None
+            out.append((finding_cls(d["path"], d["line"], d["col"],
+                                    d["code"], d["message"], fix), d["fp"]))
+        return out
