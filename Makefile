@@ -10,7 +10,7 @@ FUZZ_N ?= 5000
 FUZZ_SEED ?= 3405691582
 
 .PHONY: test lint lint-flow sanitize bench bench-quick bench-quick-record \
-        bench-experiments profile experiments fuzz fuzz-smoke
+        bench-experiments profile profile-net experiments fuzz fuzz-smoke
 
 ## Lint + bench smoke + fuzz smoke + full test suite.
 ## tests/test_experiments_runner.py includes the parallel-equals-sequential
@@ -62,6 +62,7 @@ bench-experiments:
 ## file under fuzz-failures/ (re-run it: python -m repro.fuzz replay <f>).
 fuzz-smoke:
 	$(PYTHON) -m repro.fuzz run --n 200 --seed 3405691582
+	$(PYTHON) -m repro.fuzz run --n 60 --seed 3405691582 --profile net-stress
 
 ## Long campaign: make fuzz FUZZ_N=5000 [FUZZ_SEED=...]
 fuzz:
@@ -70,6 +71,11 @@ fuzz:
 ## cProfile over the micro-benchmarks; top-20 by cumulative time.
 profile:
 	$(PYTHON) -m repro.experiments profile
+
+## cProfile focused on the burst network datapath (full-scale
+## link_stream + switch_fanout benchmarks).
+profile-net:
+	$(PYTHON) -m repro.experiments profile --bench link_stream,switch_fanout
 
 ## Regenerate every table/figure in parallel (make experiments JOBS=8).
 ## Cell results are cached under .repro-cache/ keyed by config + source

@@ -54,6 +54,10 @@ from .regions import MemoryRegion, OdpMemoryRegion, PinnedMemoryRegion
 
 __all__ = ["NpfDriver"]
 
+# Sentinel distinguishing "vpn not mapped" from any legitimate PTE value
+# in the single-lookup ``dict.pop`` fast path of :meth:`invalidate_range`.
+_UNMAPPED = object()
+
 
 class _FaultOp:
     """One in-flight NPF service operation (callback pipeline).
@@ -547,7 +551,8 @@ class NpfDriver:
         table = self.iommu._domains[domain_id]
         entries = table._entries
         iotlb = self.iommu.iotlb
-        iotlb_pop = iotlb._cache.pop
+        iotlb_cache = iotlb._cache
+        iotlb_pop = iotlb_cache.pop
         rng = costs.rng
         rand = rng._random.random if rng is not None else None
         checks = costs.inv_checks
@@ -568,11 +573,19 @@ class NpfDriver:
             stream_add = stream_buf.append
         total = 0.0
         unmapped_count = 0
+        # Hot-loop locals: one dict.pop replaces the contains+del pair,
+        # the IOTLB shootdown is skipped while the cache is empty (a pop
+        # from an empty cache is a no-op either way), and the miss
+        # latency is the same constant every iteration.
+        entries_pop = entries.pop
+        miss_latency = checks + 0.0 + 0.0
+        make_event = InvalidationEvent
+        make_breakdown = InvalidationBreakdown
         for v in range(vpn, vpn + n_pages):
-            if v in entries:
-                del entries[v]
+            if entries_pop(v, _UNMAPPED) is not _UNMAPPED:
                 unmapped_count += 1
-                iotlb_pop((domain_id, v), None)
+                if iotlb_cache:
+                    iotlb_pop((domain_id, v), None)
                 if rand is None:
                     upd = base_update
                 else:
@@ -584,27 +597,29 @@ class NpfDriver:
                         u1 = rand()
                         u2 = 1.0 - rand()
                         z = _NV_MAGICCONST * (u1 - 0.5) / u2
-                        if z * z / 4.0 <= -_log(u2):
+                        # z*z*0.25 is exactly z*z/4.0 (scaling by a
+                        # power of two is exact), so the accept test
+                        # matches CPython's bit for bit.
+                        if z * z * 0.25 <= -_log(u2):
                             break
                     upd = base_update * _exp(z * sigma)
                     if rand() < slow_p:
                         upd *= slow_mult
                 latency = checks + upd + updates
                 if keep:
-                    record_event(InvalidationEvent(
+                    record_event(make_event(
                         now, v, True,
-                        InvalidationBreakdown(checks=checks, update_pt=upd,
-                                              updates=updates),
+                        make_breakdown(checks, upd, updates),
                     ))
                 else:
                     stream_add(latency)
+                total += latency
             else:
-                latency = checks + 0.0 + 0.0
                 if keep:
-                    record_event(InvalidationEvent(now, v, False, cheap))
+                    record_event(make_event(now, v, False, cheap))
                 else:
-                    stream_add(latency)
-            total += latency
+                    stream_add(miss_latency)
+                total += miss_latency
         if not keep:
             log._stream_invalidation.add_many(stream_buf)
         table.unmaps += unmapped_count

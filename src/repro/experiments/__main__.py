@@ -52,12 +52,29 @@ def _import_bench_substrate():
     return bench_substrate
 
 
-def _profile(names: List[str], top: int, jobs: int | None) -> int:
+def _profile(names: List[str], top: int, jobs: int | None,
+             bench: str | None = None) -> int:
     """Run the substrate micro-benchmarks (or experiments) under cProfile."""
     import cProfile
     import pstats
 
-    if names:
+    if bench:
+        bench_substrate = _import_bench_substrate()
+        wanted = [b.strip() for b in bench.split(",") if b.strip()]
+        unknown = [b for b in wanted if b not in bench_substrate.BENCHMARKS]
+        if unknown:
+            print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(bench_substrate.BENCHMARKS)}",
+                  file=sys.stderr)
+            return 2
+
+        def workload():
+            for name in wanted:
+                fn, scale, _unit = bench_substrate.BENCHMARKS[name]
+                fn(scale)
+
+        label = f"substrate benchmarks (full scale): {', '.join(wanted)}"
+    elif names:
         unknown = [n for n in names if n not in REGISTRY]
         if unknown:
             print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
@@ -121,6 +138,10 @@ def main(argv: List[str] | None = None) -> int:
     profile_parser.add_argument("--jobs", type=int, default=None,
                                 help="worker processes when profiling "
                                      "experiments (default: all cores)")
+    profile_parser.add_argument("--bench", default=None,
+                                help="comma-separated substrate benchmark "
+                                     "names to profile at full scale "
+                                     "(e.g. link_stream,switch_fanout)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -129,7 +150,7 @@ def main(argv: List[str] | None = None) -> int:
         return 0
 
     if args.command == "profile":
-        return _profile(args.names, args.top, args.jobs)
+        return _profile(args.names, args.top, args.jobs, bench=args.bench)
 
     names = list(REGISTRY) if args.names == ["all"] else args.names
     unknown = [n for n in names if n not in REGISTRY]

@@ -263,7 +263,13 @@ def _run_eth(sc: Scenario, trace: Trace) -> None:
             elif op.kind == "settle":
                 yield env.timeout(op.ms * 1e-3)
 
-    _drive(env, sc, trace, chan_ops, server.memory)
+    def pause_hook(op):
+        """Stall the client->server wire for ``op.ms`` milliseconds."""
+        to_server.pause()
+        yield env.timeout(op.ms * 1e-3)
+        to_server.resume()
+
+    _drive(env, sc, trace, chan_ops, server.memory, pause_hook=pause_hook)
 
     for i, spec in enumerate(sc.channels):
         u, c = users[i], cli_users[i]
@@ -490,8 +496,14 @@ def _drain_cq(cq) -> List[list]:
 # ---------------------------------------------------------------------------
 
 def _drive(env: Environment, sc: Scenario, trace: Trace, chan_ops,
-           server_memory, settle: float = 0.02) -> None:
-    """Run per-channel op streams concurrently, plus the env-wide stream."""
+           server_memory, settle: float = 0.02, pause_hook=None) -> None:
+    """Run per-channel op streams concurrently, plus the env-wide stream.
+
+    ``pause_hook(op)`` is a generator handling ``pause`` ops (802.3x
+    PAUSE on the fabric's ingress link); it runs in every mode — a
+    link-level stall is transparent to the pinning policy, so the
+    differential surface must not notice it.
+    """
     per_channel: Dict[int, list] = {}
     env_stream = []
     for op in sc.ops:
@@ -526,6 +538,8 @@ def _drive(env: Environment, sc: Scenario, trace: Trace, chan_ops,
                     yield env.timeout(200e-6)
             elif op.kind == "settle":
                 yield env.timeout(op.ms * 1e-3)
+            elif op.kind == "pause" and pause_hook is not None:
+                yield from pause_hook(op)
             else:
                 yield env.timeout(1e-9)
 

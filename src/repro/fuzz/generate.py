@@ -28,12 +28,17 @@ def generate_scenario(index: int, master_seed: int, profile: str = "mixed") -> S
     fabrics and all modes; "eth-backup" pins the fabric to Ethernet NPF
     with the backup-ring policy and no injected faults — the profile the
     deliberately-broken-invariant test uses, since every scenario in it
-    must be differentially lossless.
+    must be differentially lossless.  "net-stress" hammers the burst
+    datapath: long back-to-back trains (``gap_us=0``) over big rings
+    with random 802.3x PAUSE injection on the ingress link, checked
+    differentially against static pinning.
     """
     seed = derive_seed(master_seed, "scenario", index)
     rng = Rng(seed, name=f"fuzz-{index}")
     if profile == "eth-backup":
         return _eth_scenario(rng, seed, degraded=False, force_npf=True)
+    if profile == "net-stress":
+        return _net_stress_scenario(rng, seed)
     if profile != "mixed":
         raise ValueError(f"unknown profile {profile!r}")
     degraded = rng.bernoulli(_DEGRADED_P)
@@ -133,6 +138,73 @@ def _invalidate_op(rng: Rng, channel: int) -> Op:
         offset=rng.randint(0, 8),
         target=target,
     )
+
+
+def _net_stress_scenario(rng: Rng, seed: int) -> Scenario:
+    """Burst-datapath stress: long ``gap_us=0`` trains + PAUSE injection.
+
+    Every draw here is profile-local (fresh ``Rng`` per scenario), so
+    adding this profile never shifts what "mixed"/"eth-backup" generate
+    for the same campaign seed — the committed golden traces stay valid.
+    """
+    n_channels = rng.randint(1, 2)
+    channels = []
+    for _ in range(n_channels):
+        channels.append(ChannelSpec(
+            kind="eth",
+            ring_size=rng.choice((64, 128)),
+            bm_factor=rng.choice((2, 4)),
+            heap_pages=rng.randint(16, 48),
+        ))
+    mode = "npf" if rng.bernoulli(0.7) else "static"
+    sc = Scenario(
+        seed=seed,
+        fabric="eth",
+        mode=mode,
+        rx_policy="backup",
+        memory_mb=rng.choice((16, 32)),
+        backup_size=max(64, sum(c.ring_size for c in channels)),
+        channels=channels,
+    )
+    if mode == "npf":
+        sc.coalesce_faults = rng.bernoulli(0.4)
+        sc.swap_burst = rng.bernoulli(0.4)
+        sc.warm_iotlb = rng.bernoulli(0.4)
+
+    ops = []
+    for i, spec in enumerate(channels):
+        for _ in range(rng.randint(3, 5)):
+            roll = rng.random()
+            if roll < 0.60:
+                # The hot case: a whole-ring back-to-back train.
+                ops.append(Op(
+                    kind="burst", channel=i,
+                    count=rng.randint(spec.ring_size // 2, spec.ring_size),
+                    size=rng.randint(256, spec.buffer_size),
+                    gap_us=0.0,
+                ))
+            elif roll < 0.85:
+                ops.append(Op(
+                    kind="send_back", channel=i,
+                    count=rng.randint(4, 16),
+                    size=rng.randint(64, 4096),
+                    gap_us=0.0,
+                ))
+            else:
+                ops.append(Op(kind="settle", channel=i,
+                              ms=round(rng.uniform(0.05, 0.5), 2)))
+    # PAUSE the ingress link at random points in the interleaving: the
+    # env stream runs concurrently with the traffic streams, so pauses
+    # land mid-train and exercise the split/recommit slow path.
+    for _ in range(rng.randint(1, 3)):
+        ops.append(Op(kind="pause", channel=-1,
+                      ms=round(rng.uniform(0.001, 0.05), 4)))
+    _ensure_traffic(ops, rng, channels)
+    # The shuffle decides the cross-channel interleaving; each channel's
+    # subsequence still replays in list order.
+    rng.shuffle(ops)
+    sc.ops = ops
+    return sc
 
 
 # ---------------------------------------------------------------------------

@@ -22,11 +22,14 @@ __all__ = ["ChannelSpec", "Op", "FaultPlan", "Scenario", "TRAFFIC_OPS", "ENV_OPS
 #: and the static-pinning oracle run.
 TRAFFIC_OPS = ("burst", "send_back", "ib_send", "ib_write", "ib_read", "ud_send")
 
-#: Environment ops only perturb the memory system (MMU-notifier
-#: invalidation storms, swap pressure, idle time).  Transparency means
-#: the oracle run omits them — pinned memory cannot be invalidated or
-#: reclaimed — and the IOuser-visible trace must match anyway.
-ENV_OPS = ("invalidate", "hog", "settle")
+#: Environment ops perturb the substrate rather than moving IOuser
+#: data.  Memory perturbations (MMU-notifier invalidation storms, swap
+#: pressure) are skipped by non-NPF runs — pinned memory cannot be
+#: invalidated or reclaimed — and the IOuser-visible trace must match
+#: anyway.  ``pause`` is a *network* perturbation (802.3x PAUSE on the
+#: ingress link) that is mode-independent, so it runs in both the NPF
+#: run and the static-pinning oracle run.
+ENV_OPS = ("invalidate", "hog", "settle", "pause")
 
 
 @dataclass

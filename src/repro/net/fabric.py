@@ -4,6 +4,12 @@ Endpoints are any objects exposing ``name`` (str) and ``receive(packet)``.
 :func:`connect_back_to_back` reproduces the paper's Ethernet testbed (two
 servers, NICs cabled directly); :func:`star` reproduces the InfiniBand
 cluster (eight servers through one SwitchX-2).
+
+With the burst-mode datapath (see :mod:`repro.net.link`), a back-to-back
+burst entering either topology is committed as one serialization train
+per link hop; senders that already hold a batch should prefer
+``Link.send_many`` / ``Switch.receive_many`` so the train is committed
+in one call instead of being re-assembled from per-packet sends.
 """
 
 from __future__ import annotations

@@ -6,15 +6,56 @@ receiver callback.  :meth:`pause`/:meth:`resume` model IEEE 802.3x
 flow control — while paused the serializer stalls and the bounded
 transmit buffer fills; overflow drops packets (or, at a switch, forces
 the pause to spread upstream, see :mod:`repro.net.switch`).
+
+Burst-mode datapath
+-------------------
+
+The original datapath ran a generator process per link — ``Store.get``
+yield, ``Gate.wait`` yield, serialization ``timeout`` yield and a
+per-packet propagation lambda: ~4 event-queue operations per packet.
+This version commits *packet trains* instead: when packets are
+back-to-back (accepted while the wire is idle, or buffered behind an
+active train), the whole train's serialization-completion timestamps
+are computed analytically as a running float sum — bit-identical to the
+old chained ``now + transfer_time`` arithmetic — and scheduled at once:
+one pre-bound delivery event per packet (``Environment.schedule_train``)
+plus a single train-done event.  That is ~1 event per packet, no
+generator resumes, no Store/Gate traffic.
+
+The slow path re-enters exactly where semantics demand it:
+
+* **PAUSE** — :meth:`pause` splits the active train at the first packet
+  whose serialization *start* is at or after the pause time; the
+  cancelled tail returns to the head of the pending queue and its
+  already-scheduled delivery events are disarmed by index (the engine
+  has no cancel API; stale events fire as no-ops).  A packet mid-wire
+  at pause time finishes, as on real hardware (and as the old gate
+  check — between packets, never within one — behaved).
+* **resume** — recommits the held packet plus the pending backlog as a
+  fresh train starting at the resume time.
+* **buffer overflow** — acceptance replays the old ``Store.try_put``
+  rule exactly: a send onto an idle link is always accepted (the old
+  serializer sat in ``get()``, a waiting getter); otherwise the packet
+  is accepted iff fewer than ``buffer_packets`` packets are waiting for
+  their serialization to start (committed-not-yet-started + pending).
+* **receiver backpressure** — a receiver (e.g. :class:`~repro.net.switch.
+  Switch`) may call :meth:`pause` from inside a delivery callback; the
+  split rule above handles it mid-train.
+
+``sent_packets``/``sent_bytes``/``queued_packets`` are computed
+properties: the folded base plus a binary search over the active
+train's completion/start timestamps, so observers that stop the clock
+mid-train (``run(until=...)``) read exactly what the per-packet
+datapath would have counted.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import Callable, Deque, List, Optional
 
 from ..sim.engine import Environment
-from ..sim.queues import Store
-from ..sim.resources import Gate
 from ..sim.units import transfer_time
 from .packet import Packet
 
@@ -23,8 +64,46 @@ __all__ = ["Link"]
 Receiver = Callable[[Packet], None]
 
 
+class _Train:
+    """One committed back-to-back packet train on the wire.
+
+    ``starts[k]``/``ends[k]`` are packet *k*'s serialization start and
+    completion timestamps; ``cbytes[k]`` the cumulative bytes through
+    packet *k*.  Arrays shrink in lockstep when a PAUSE truncates the
+    train — a scheduled delivery whose index is beyond the current
+    length belongs to a cancelled packet and is dropped on the floor.
+    """
+
+    __slots__ = ("link", "packets", "starts", "ends", "cbytes")
+
+    def __init__(self, link: "Link", packets: List[Packet],
+                 starts: List[float], ends: List[float],
+                 cbytes: List[int]):
+        self.link = link
+        self.packets = packets
+        self.starts = starts
+        self.ends = ends
+        self.cbytes = cbytes
+
+    def deliver(self, event) -> None:
+        """Pre-bound per-packet delivery callback (event value = index)."""
+        idx = event._value
+        if idx >= len(self.ends):
+            return  # cancelled by a PAUSE split after scheduling
+        link = self.link
+        receiver = link._receiver
+        if receiver is None:
+            raise RuntimeError(f"link {link.name!r} delivered into the void")
+        receiver(self.packets[idx])
+
+
 class Link:
     """Unidirectional link: ``send()`` → serialize → propagate → deliver."""
+
+    __slots__ = ("env", "rate_bps", "propagation_delay", "buffer_packets",
+                 "name", "_receiver", "_pending", "_train", "_held",
+                 "_paused", "_sent_p", "_sent_b", "dropped_packets",
+                 "_done_cb")
 
     def __init__(
         self,
@@ -41,14 +120,19 @@ class Link:
         self.env = env
         self.rate_bps = rate_bps
         self.propagation_delay = propagation_delay
+        self.buffer_packets = buffer_packets
         self.name = name
-        self._queue: Store[Packet] = Store(env, capacity=buffer_packets)
-        self._pause_gate = Gate(env, open_=True)
         self._receiver: Optional[Receiver] = None
-        self.sent_packets = 0
-        self.sent_bytes = 0
+        #: accepted, not yet committed into a train
+        self._pending: Deque[Packet] = deque()
+        self._train: Optional[_Train] = None
+        #: the packet the old serializer would hold at a closed gate
+        self._held: Optional[Packet] = None
+        self._paused = False
+        self._sent_p = 0
+        self._sent_b = 0
         self.dropped_packets = 0
-        env.process(self._serializer(), name=f"{name}-tx")
+        self._done_cb = self._train_done
 
     # -- wiring -----------------------------------------------------------
     def connect(self, receiver: Receiver) -> None:
@@ -58,41 +142,190 @@ class Link:
     # -- datapath -----------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet; returns False if the tx buffer overflowed."""
-        if not self._queue.try_put(packet):
+        if self._train is None and self._held is None and not self._pending:
+            # Idle wire: always accepted (the old serializer was a
+            # waiting getter here, so try_put never failed).
+            if self._paused:
+                self._held = packet
+            else:
+                self._commit([packet], self.env.now)
+            return True
+        if self._waiting() >= self.buffer_packets:
             self.dropped_packets += 1
             return False
+        self._pending.append(packet)
         return True
 
+    def send_many(self, packets) -> int:
+        """Bulk :meth:`send`; returns how many packets were accepted.
+
+        Same acceptance rule, drop accounting and serialization
+        schedule as the equivalent ``send`` loop, but an idle link
+        commits the whole burst as one train up front.
+        """
+        n = len(packets)
+        if n == 0:
+            return 0
+        if n == 1:
+            return 1 if self.send(packets[0]) else 0
+        accepted = 0
+        if self._train is None and self._held is None and not self._pending:
+            if self._paused:
+                self._held = packets[0]
+                accepted = 1
+            else:
+                # Packet 0 starts immediately; packets 1..B fill the
+                # buffer — the idle-start capacity is buffer + 1.
+                k = min(n, self.buffer_packets + 1)
+                self._commit(list(packets[:k]), self.env.now)
+                dropped = n - k
+                if dropped:
+                    self.dropped_packets += dropped
+                return k
+        room = self.buffer_packets - self._waiting()
+        if room > 0:
+            take = min(n - accepted, room)
+            self._pending.extend(packets[accepted:accepted + take])
+            accepted += take
+        dropped = n - accepted
+        if dropped:
+            self.dropped_packets += dropped
+        return accepted
+
+    def _waiting(self) -> int:
+        """Packets waiting for their serialization to start (the old
+        ``len(Store)``: committed-not-yet-started + pending; the held
+        packet was already popped by the stalled serializer)."""
+        n = len(self._pending)
+        train = self._train
+        if train is not None:
+            starts = train.starts
+            n += len(starts) - bisect_right(starts, self.env.now)
+        return n
+
+    # -- observability ------------------------------------------------------
     @property
     def queued_packets(self) -> int:
-        return len(self._queue)
+        return self._waiting()
+
+    @property
+    def sent_packets(self) -> int:
+        train = self._train
+        if train is None:
+            return self._sent_p
+        return self._sent_p + bisect_right(train.ends, self.env.now)
+
+    @property
+    def sent_bytes(self) -> int:
+        train = self._train
+        if train is None:
+            return self._sent_b
+        done = bisect_right(train.ends, self.env.now)
+        return self._sent_b + (train.cbytes[done - 1] if done else 0)
 
     # -- flow control ---------------------------------------------------------
     def pause(self) -> None:
-        """Assert link-level flow control (802.3x PAUSE)."""
-        self._pause_gate.close()
+        """Assert link-level flow control (802.3x PAUSE).
+
+        Splits the active train: every packet whose serialization start
+        is at or after the pause time stalls (its delivery event is
+        disarmed and it returns to the head of the pending queue); a
+        packet already mid-wire finishes normally.
+        """
+        if self._paused:
+            return
+        self._paused = True
+        train = self._train
+        if train is None:
+            return
+        starts = train.starts
+        s = bisect_left(starts, self.env.now)
+        if s >= len(starts):
+            return  # every packet already on the wire; finish the train
+        pending = self._pending
+        for packet in reversed(train.packets[s:]):
+            pending.appendleft(packet)
+        del train.packets[s:], train.starts[s:], train.ends[s:], \
+            train.cbytes[s:]
+        if s == 0:
+            # Whole train cancelled: the first packet was about to start
+            # — the old serializer had popped it and stalls at the gate.
+            self._train = None
+            self._held = pending.popleft()
+        else:
+            # The truncated train finishes earlier than the scheduled
+            # done event; arm a fresh one (the stale original disarms
+            # itself against the changed end time).
+            self.env.at(train.ends[-1], self._done_cb, train)
 
     def resume(self) -> None:
-        self._pause_gate.open()
+        if not self._paused:
+            return
+        self._paused = False
+        if self._train is not None:
+            return  # mid-wire packet still finishing; its done recommits
+        held = self._held
+        if held is None:
+            return
+        self._held = None
+        pending = self._pending
+        packets = [held]
+        if pending:
+            packets.extend(pending)
+            pending.clear()
+        self._commit(packets, self.env.now)
 
     @property
     def is_paused(self) -> bool:
-        return not self._pause_gate.is_open
+        return self._paused
 
     # -- internals ---------------------------------------------------------------
-    def _serializer(self):
-        while True:
-            packet = yield self._queue.get()
-            yield self._pause_gate.wait()
-            yield self.env.timeout(transfer_time(packet.size, self.rate_bps))
-            self.sent_packets += 1
-            self.sent_bytes += packet.size
-            # Propagation happens off the serializer's critical path.
-            self.env.schedule_callback(
-                self.propagation_delay, lambda p=packet: self._deliver(p)
-            )
+    def _commit(self, packets: List[Packet], t0: float) -> None:
+        """Commit ``packets`` as one back-to-back train starting at ``t0``.
 
-    def _deliver(self, packet: Packet) -> None:
-        if self._receiver is None:
-            raise RuntimeError(f"link {self.name!r} delivered into the void")
-        self._receiver(packet)
+        The completion sequence is the same running float sum the old
+        per-packet chain produced (``t += transfer_time(size)``), so
+        every timestamp — and therefore every event tie — matches the
+        generator datapath bit for bit.
+        """
+        rate = self.rate_bps
+        starts: List[float] = []
+        ends: List[float] = []
+        cbytes: List[int] = []
+        t = t0
+        total = 0
+        for packet in packets:
+            starts.append(t)
+            t = t + transfer_time(packet.size, rate)
+            ends.append(t)
+            total += packet.size
+            cbytes.append(total)
+        train = _Train(self, packets, starts, ends, cbytes)
+        self._train = train
+        env = self.env
+        prop = self.propagation_delay
+        env.schedule_train([e + prop for e in ends], train.deliver)
+        env.at(t, self._done_cb, train)
+
+    def _train_done(self, event) -> None:
+        train = event._value
+        if self._train is not train:
+            return  # superseded (cancelled whole-train or already folded)
+        ends = train.ends
+        if not ends or ends[-1] != self.env.now:
+            return  # stale: the train was truncated after this was armed
+        # Fold the finished train into the base counters.
+        self._sent_p += len(ends)
+        self._sent_b += train.cbytes[-1]
+        self._train = None
+        pending = self._pending
+        if self._paused:
+            if pending:
+                # The old serializer pops the next packet before it
+                # checks the gate: it stalls holding one packet.
+                self._held = pending.popleft()
+            return
+        if pending:
+            packets = list(pending)
+            pending.clear()
+            self._commit(packets, self.env.now)

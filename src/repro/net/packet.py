@@ -24,7 +24,7 @@ IB_HEADER = 30             # LRH + BTH + ICRC etc., rounded
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One unit of traffic on a link.
 

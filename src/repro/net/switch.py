@@ -22,6 +22,10 @@ __all__ = ["Switch"]
 class Switch:
     """Forwards packets between attached links by destination name."""
 
+    __slots__ = ("env", "name", "flow_control", "buffer_per_port",
+                 "_ports", "_ingress", "forwarded", "dropped",
+                 "upstream_pauses")
+
     def __init__(
         self,
         env: Environment,
@@ -65,6 +69,36 @@ class Switch:
             self.dropped += 1
         if self.flow_control:
             self._update_backpressure(packet.dst, egress)
+
+    def receive_many(self, packets) -> None:
+        """Bulk ingress: forward a packet train through the switch.
+
+        Maximal same-destination runs traverse as one unit — a single
+        ``Link.send_many`` (which commits them as one serialization
+        train on an idle egress) and a single backpressure probe per
+        run, instead of a forwarding decision + probe per packet.
+        Acceptance and drop accounting are identical to calling
+        :meth:`receive` per packet.
+        """
+        ports = self._ports
+        flow_control = self.flow_control
+        i = 0
+        n = len(packets)
+        while i < n:
+            dst = packets[i].dst
+            j = i + 1
+            while j < n and packets[j].dst == dst:
+                j += 1
+            egress = ports.get(dst)
+            if egress is None:
+                self.dropped += j - i
+            else:
+                accepted = egress.send_many(packets[i:j])
+                self.forwarded += accepted
+                self.dropped += (j - i) - accepted
+                if flow_control:
+                    self._update_backpressure(dst, egress)
+            i = j
 
     # -- congestion spreading ----------------------------------------------------
     def _update_backpressure(self, destination: str, egress: Link) -> None:

@@ -19,7 +19,7 @@ from ..net.packet import Packet  # noqa: F401 - dataclass field type
 __all__ = ["BackupEntry", "BackupRing"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BackupEntry:
     """Figure 6's ``{r.id, head, bit_index, pkt}`` metadata record."""
 
@@ -33,6 +33,8 @@ class BackupEntry:
 
 class BackupRing:
     """Bounded FIFO of faulting packets, owned by the IOprovider."""
+
+    __slots__ = ("size", "_entries", "stored", "dropped", "high_watermark")
 
     def __init__(self, size: int = 256):
         if size < 1:

@@ -22,14 +22,14 @@ per-channel TX queue that transparently absorbs send-side NPFs.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.npf import NpfSide
 from ..core.regions import MemoryRegion, OdpMemoryRegion
 from ..net.link import Link
 from ..net.packet import Packet
-from ..sim.engine import Environment, Event
-from ..sim.queues import Store
+from ..sim.engine import Environment, Event, Process, _NO_WAITERS
 from ..sim.units import PAGE_SHIFT, pages_for
 from .interrupts import InterruptLine
 from .rings import RxDescriptor, RxRing
@@ -48,6 +48,13 @@ class RxMode(enum.Enum):
 
 class EthChannel:
     """One IOchannel: RX ring + TX queue, bound to an IOuser's MR."""
+
+    __slots__ = ("nic", "env", "name", "mode", "mr", "ring",
+                 "rx_process_cost", "rx_handler", "inject_rnpf", "rx_irq",
+                 "_txq", "_tx_busy", "_tx_fault_pkt", "_tx_step_cb",
+                 "_tx_fault_cb", "_tail_waiters", "_drop_faults_pending",
+                 "_injected_ready", "auto_repost", "dropped_rnpf",
+                 "dropped_no_buffer", "tx_packets", "rx_packets")
 
     def __init__(
         self,
@@ -71,7 +78,14 @@ class EthChannel:
         #: return None, "minor" or "major"
         self.inject_rnpf: Optional[Callable[[Packet], Optional[str]]] = None
         self.rx_irq = InterruptLine(self.env, self._drain, name=f"{name}-rx")
-        self._tx_queue: Store = Store(self.env)
+        # Callback-driven TX pipeline: a deque plus one deferred step per
+        # packet replaces the old Store + generator loop (same one-hop
+        # cadence, no generator resume, no Store traffic).
+        self._txq: Deque[Tuple[Packet, Optional[int], int]] = deque()
+        self._tx_busy = False
+        self._tx_fault_pkt: Optional[Packet] = None
+        self._tx_step_cb = self._tx_step
+        self._tx_fault_cb = self._tx_fault_done
         self._tail_waiters: List[Event] = []
         self._drop_faults_pending: set[int] = set()
         #: end of the current injected-fault resolution window (§6.4)
@@ -81,7 +95,6 @@ class EthChannel:
         self.dropped_no_buffer = 0
         self.tx_packets = 0
         self.rx_packets = 0
-        self.env.process(self._tx_loop(), name=f"{name}-tx")
 
     # -- IOuser-facing API ----------------------------------------------------
     def set_rx_handler(self, handler: Callable[[Packet], None]) -> None:
@@ -107,23 +120,72 @@ class EthChannel:
         are not IOMMU-mapped the NIC takes a send-side NPF, which stalls
         this channel's TX pipeline (but nothing else) until resolved.
         """
-        self._tx_queue.put_nowait((packet, src_addr, src_size))
+        self._txq.append((packet, src_addr, src_size))
+        if not self._tx_busy:
+            self._tx_busy = True
+            self.env.defer(self._tx_step_cb)
+
+    def send_many(self, items) -> None:
+        """Bulk :meth:`send`: ``items`` are ``(packet, src_addr, src_size)``.
+
+        One queue extend and (at most) one deferred pipeline kick for the
+        whole batch; per-packet pacing through the pipeline is unchanged.
+        """
+        if not items:
+            return
+        self._txq.extend(items)
+        if not self._tx_busy:
+            self._tx_busy = True
+            self.env.defer(self._tx_step_cb)
 
     # -- TX pipeline --------------------------------------------------------------
-    def _tx_loop(self):
-        while True:
-            packet, src_addr, src_size = yield self._tx_queue.get()
-            if src_addr is not None and isinstance(self.mr, OdpMemoryRegion):
-                first_vpn = src_addr >> PAGE_SHIFT
-                n_pages = pages_for(src_size) or 1
-                if self.mr.unmapped_vpns(first_vpn, n_pages):
-                    yield self.nic.driver_service_fault(
-                        self.mr, first_vpn, n_pages, NpfSide.SEND, self.name
-                    )
+    def _tx_step(self, event) -> None:
+        """Process one queued packet (deferred once per packet, matching
+        the old Store-getter resume cadence event for event)."""
+        packet, src_addr, src_size = self._txq.popleft()
+        if src_addr is not None and isinstance(self.mr, OdpMemoryRegion):
+            first_vpn = src_addr >> PAGE_SHIFT
+            n_pages = pages_for(src_size) or 1
+            if self.mr.unmapped_vpns(first_vpn, n_pages):
+                # Send-side NPF: stall this channel's pipeline on the
+                # driver's completion event (chained bare, like a
+                # waiting process would be).
+                self._tx_fault_pkt = packet
+                ev = self.nic.driver_service_fault(
+                    self.mr, first_vpn, n_pages, NpfSide.SEND, self.name
+                )
+                cbs = ev.callbacks
+                if cbs is None:
+                    # Already resolved: continue after the events queued
+                    # at this timestamp, like a process resume would.
+                    self.env.defer(self._tx_fault_cb)
+                elif cbs is _NO_WAITERS:
+                    ev.callbacks = self._tx_fault_cb
+                elif cbs.__class__ is list:
+                    cbs.append(self._tx_fault_cb)
                 else:
-                    self._touch_lru(src_addr, src_size)
-            self.tx_packets += 1
-            self.nic.transmit(packet)
+                    if cbs.__class__ is Process:
+                        cbs = cbs._resume_cb
+                    ev.callbacks = [cbs, self._tx_fault_cb]
+                return
+            self._touch_lru(src_addr, src_size)
+        self.tx_packets += 1
+        self.nic.transmit(packet)
+        if self._txq:
+            self.env.defer(self._tx_step_cb)
+        else:
+            self._tx_busy = False
+
+    def _tx_fault_done(self, event) -> None:
+        """Fault resolved: transmit the stalled packet, resume the queue."""
+        packet = self._tx_fault_pkt
+        self._tx_fault_pkt = None
+        self.tx_packets += 1
+        self.nic.transmit(packet)
+        if self._txq:
+            self.env.defer(self._tx_step_cb)
+        else:
+            self._tx_busy = False
 
     # -- RX datapath (NIC side) ------------------------------------------------------
     def rx(self, packet: Packet) -> None:
@@ -249,6 +311,9 @@ class EthChannel:
 class EthernetNic:
     """A multi-channel Ethernet NIC attached to one host and one link."""
 
+    __slots__ = ("env", "name", "driver", "provider", "link", "channels",
+                 "rx_total", "rx_unclaimed")
+
     def __init__(self, env: Environment, name: str, driver=None):
         self.env = env
         self.name = name
@@ -296,6 +361,14 @@ class EthernetNic:
         if self.link is None:
             raise RuntimeError(f"NIC {self.name!r} has no attached link")
         self.link.send(packet)
+
+    def transmit_many(self, packets) -> int:
+        """Hand a back-to-back burst to the wire as one serialization
+        train (see :meth:`repro.net.link.Link.send_many`); returns the
+        number of packets the link accepted."""
+        if self.link is None:
+            raise RuntimeError(f"NIC {self.name!r} has no attached link")
+        return self.link.send_many(packets)
 
     # -- services used by channels ----------------------------------------------------
     def driver_service_fault(self, mr, vpn, n_pages, side, channel_name):

@@ -49,7 +49,7 @@ __all__ = ["InfiniBandNic", "QueuePair"]
 _qp_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class IbMessage:
     """Wire representation of one work request (or read response)."""
 
@@ -69,7 +69,13 @@ class IbMessage:
 class QueuePair:
     """One RC connection endpoint."""
 
-    MAX_RNR_RETRIES = 64
+    __slots__ = ("nic", "env", "qp_id", "send_cq", "recv_cq",
+                 "rnr_for_reads", "remote", "_send_queue", "_recv_queue",
+                 "_window", "inject_rnpf", "_next_seq", "_inflight",
+                 "_paused", "_expected_seq", "rnr_nacks_sent",
+                 "rnr_retries", "read_rewinds", "read_rnr_nacks",
+                 "send_faults", "messages_received", "bytes_received",
+                 "_injected_pending", "MAX_RNR_RETRIES", "_complete_cb")
 
     def __init__(self, nic: "InfiniBandNic", send_cq: CompletionQueue,
                  recv_cq: CompletionQueue, max_outstanding: int = 8,
@@ -79,6 +85,8 @@ class QueuePair:
         self.qp_id = next(_qp_ids)
         self.send_cq = send_cq
         self.recv_cq = recv_cq
+        #: per-QP RNR retry budget (tests/harnesses tune this per instance)
+        self.MAX_RNR_RETRIES = 64
         #: §4's proposed RC extension: end-to-end flow control for remote
         #: reads.  When enabled, a faulting read *initiator* can ask the
         #: responder to pause-and-retransmit (like RNR NACK) instead of
@@ -104,6 +112,8 @@ class QueuePair:
         self.messages_received = 0
         self.bytes_received = 0
         self._injected_pending: Dict[int, float] = {}  # wr_id -> ready time
+        #: pre-bound ACK-delivery callback (see :meth:`_ack`)
+        self._complete_cb = self._complete_send_event
         self.env.process(self._sender(), name=f"qp{self.qp_id}-send")
 
     # -- wiring -------------------------------------------------------------
@@ -400,17 +410,26 @@ class QueuePair:
         elif fault == "pending":
             return
 
+    def _complete_send_event(self, event) -> None:
+        self._complete_send(event._value)
+
     def _ack(self, message: IbMessage) -> None:
-        """Completion flows back to the sender after a propagation delay."""
-        sender = self.remote
-        self.env.schedule_callback(
-            self.nic.propagation_delay,
-            lambda: sender._complete_send(message),
-        )
+        """Completion flows back to the sender after a propagation delay.
+
+        Scheduled through the sender's pre-bound callback with the
+        message as the event value — no per-ACK closure allocation.
+        """
+        env = self.env
+        env.at(env.now + self.nic.propagation_delay,
+               self.remote._complete_cb, message)
 
 
 class InfiniBandNic:
     """A Connect-IB-style NIC: QPs, MR registry and the wire."""
+
+    __slots__ = ("env", "name", "driver", "costs", "rate_bps",
+                 "propagation_delay", "costs_swap_latency", "link",
+                 "_qps", "_uds", "_mrs", "efficiency")
 
     def __init__(
         self,

@@ -19,6 +19,9 @@ __all__ = ["InterruptLine"]
 class InterruptLine:
     """Edge-triggered, coalescing interrupt wired to one handler process."""
 
+    __slots__ = ("env", "handler", "dispatch_latency", "name",
+                 "_pending", "_rearm", "raised", "delivered")
+
     def __init__(
         self,
         env: Environment,

@@ -22,7 +22,7 @@ from ..net.packet import Packet
 __all__ = ["RxDescriptor", "RxRing", "RingStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class RxDescriptor:
     """One posted receive buffer."""
 
@@ -32,7 +32,7 @@ class RxDescriptor:
     packet: Optional[Packet] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RingStats:
     stored_direct: int = 0       # packets written straight to the IOuser ring
     stored_while_faulting: int = 0  # direct stores with older faults pending
@@ -45,6 +45,9 @@ class RingStats:
 
 class RxRing:
     """Figure 6's ``struct ring`` with absolute (non-wrapping) counters."""
+
+    __slots__ = ("size", "bm_size", "_slots", "tail", "head", "head_offset",
+                 "bm_index", "bitmap", "consumed", "stats")
 
     def __init__(self, size: int, bm_size: Optional[int] = None):
         if size < 1:

@@ -973,6 +973,52 @@ class Environment:
             self._imm.append(ev)
         return ev
 
+    def at(self, t: float, callback: Callable[["Event"], None],
+           value: Any = None) -> Timeout:
+        """:meth:`after` with an *absolute* fire time.
+
+        The burst-mode network datapath computes a packet train's
+        completion timestamps analytically as a running float sum; a
+        relative ``after(t - now)`` would re-derive the fire time as
+        ``now + (t - now)``, which is not bit-identical to ``t`` in
+        float arithmetic and would shift delivery order against the
+        per-packet datapath.  ``at`` schedules at exactly ``t`` (times
+        at or before ``now`` land in the current-time lane, like every
+        other trigger).  ``value`` is delivered as the event's value so
+        one pre-bound callback can serve many events.
+        """
+        ev = _new_timeout(Timeout)
+        ev.callbacks = callback
+        ev._value = value
+        ev._ok = True
+        ev._state = _TRIGGERED
+        self._schedule_at(t, ev)
+        return ev
+
+    def schedule_train(self, times: Iterable[float],
+                       callback: Callable[["Event"], None]) -> None:
+        """Bulk :meth:`at`: one pre-bound ``callback`` at each absolute time.
+
+        The fast path for committing a packet train: ``times[i]`` is the
+        i-th delivery timestamp and the event's value is ``i``, so a
+        single bound method per train serves every packet — one Timeout
+        allocation per packet and nothing else (no lambda, no generator
+        resume, no Store traffic).  ``times`` must be non-decreasing
+        (a train's completion sequence), which keeps every insert on the
+        calendar's front-insert/append fast paths.
+        """
+        schedule = self._schedule_at
+        new = _new_timeout
+        i = 0
+        for t in times:
+            ev = new(Timeout)
+            ev.callbacks = callback
+            ev._value = i
+            ev._ok = True
+            ev._state = _TRIGGERED
+            schedule(t, ev)
+            i += 1
+
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
 

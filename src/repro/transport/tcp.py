@@ -36,7 +36,7 @@ class TcpError(Exception):
     """Connection failed (max retries exceeded) — surfaced to the app."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TcpParams:
     """Stack tunables; defaults follow the Linux/lwIP-era constants."""
 
@@ -56,7 +56,7 @@ class TcpParams:
     rwnd: int = 1024 * 1024               # receiver window: caps cwnd
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """TCP header fields carried in :attr:`Packet.payload`."""
 
@@ -73,6 +73,14 @@ class TcpSegment:
 
 class TcpConnection:
     """One reliable byte-stream over an IOchannel."""
+
+    __slots__ = ("stack", "env", "params", "conn_id", "remote",
+                 "remote_channel", "is_initiator", "state", "snd_una",
+                 "snd_nxt", "app_bytes", "cwnd", "ssthresh", "dupacks",
+                 "retries", "rto", "_timer_version", "_timer_running",
+                 "_src_ranges", "rcv_nxt", "_out_of_order",
+                 "on_established", "on_receive", "on_failed", "timeouts",
+                 "fast_retransmits", "delivered_bytes")
 
     # Connection states.
     CLOSED = "closed"
@@ -168,7 +176,9 @@ class TcpConnection:
                 return addr + (seq - start)
         return None
 
-    def _transmit_data(self, seq: int) -> None:
+    def _make_data(self, seq: int) -> Tuple[Packet, Optional[int], int]:
+        """Build one data segment as a ``(packet, src_addr, src_size)``
+        channel-TX item (see :meth:`EthChannel.send_many`)."""
         length = min(self.params.mss, self.app_bytes - seq)
         segment = TcpSegment(
             self.conn_id, seq=seq, ack=self.rcv_nxt, length=length, ack_flag=True,
@@ -183,7 +193,10 @@ class TcpConnection:
             channel=self.remote_channel,
             payload=segment,
         )
-        src_addr = self._src_addr_for(seq)
+        return packet, self._src_addr_for(seq), length
+
+    def _transmit_data(self, seq: int) -> None:
+        packet, src_addr, length = self._make_data(seq)
         self.stack.channel.send(packet, src_addr=src_addr, src_size=length)
 
     def _transmit_flags(self, syn: bool = False, ack: bool = False, ack_only: bool = False) -> None:
@@ -204,11 +217,20 @@ class TcpConnection:
         self.stack.channel.send(packet)
 
     def _pump(self) -> None:
-        """Send as much as the congestion window allows."""
+        """Send as much as the congestion window allows.
+
+        The window's worth of segments goes to the IOchannel as one
+        batch — a single TX-queue extend instead of a ``send`` per
+        segment (the segments are back-to-back anyway; pacing through
+        the TX pipeline and onto the wire is unchanged).
+        """
         limit = self.snd_una + min(int(self.cwnd), self.params.rwnd)
+        batch: List[Tuple[Packet, Optional[int], int]] = []
         while self.snd_nxt < self.app_bytes and self.snd_nxt + 1 <= limit:
-            self._transmit_data(self.snd_nxt)
+            batch.append(self._make_data(self.snd_nxt))
             self.snd_nxt += min(self.params.mss, self.app_bytes - self.snd_nxt)
+        if batch:
+            self.stack.channel.send_many(batch)
         if self.inflight > 0:
             self._ensure_timer()
 
@@ -366,6 +388,9 @@ class TcpConnection:
 
 class TcpStack:
     """Per-IOuser TCP: demultiplexes its channel's packets to connections."""
+
+    __slots__ = ("env", "channel", "name", "params", "connections",
+                 "on_accept", "failed_connections")
 
     def __init__(
         self,

@@ -26,7 +26,7 @@ __all__ = ["UdEndpoint"]
 _ud_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class _UdDatagram:
     dst_ud: int
     length: int
@@ -35,6 +35,10 @@ class _UdDatagram:
 
 class UdEndpoint:
     """One UD 'QP': connectionless datagrams over an InfiniBand NIC."""
+
+    __slots__ = ("nic", "env", "ud_id", "recv_cq", "_recv_queue",
+                 "buffered_fallback", "_held", "sent", "received",
+                 "dropped_rnpf", "dropped_no_buffer")
 
     def __init__(self, nic, buffered_fallback: bool = False):
         self.nic = nic

@@ -36,7 +36,7 @@ class WcStatus(enum.Enum):
     ERROR = "error"
 
 
-@dataclass
+@dataclass(slots=True)
 class SendWr:
     """A send-side work request (SEND / RDMA_WRITE / RDMA_READ)."""
 
@@ -53,7 +53,7 @@ class SendWr:
             raise ValueError("work request length must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvWr:
     """A posted receive buffer."""
 
@@ -63,7 +63,7 @@ class RecvWr:
     wr_id: int = field(default_factory=lambda: next(_wr_ids))
 
 
-@dataclass
+@dataclass(slots=True)
 class Wc:
     """A work completion."""
 
@@ -76,6 +76,8 @@ class Wc:
 
 class CompletionQueue:
     """FIFO of work completions with blocking harvest."""
+
+    __slots__ = ("env", "_queue", "completions")
 
     def __init__(self, env: Environment):
         self.env = env

@@ -101,6 +101,41 @@ def test_executor_is_deterministic(index):
     assert _compared_json(a) == _compared_json(b)
 
 
+def test_seed_matrix_byte_identity_across_profiles():
+    """Generation AND execution are byte-identical across repeat runs for
+    a matrix of (master seed, index, profile) — the determinism contract
+    the burst datapath must uphold under every scenario space."""
+    matrix = [
+        (SEED, 2, "mixed"),
+        (SEED, 3, "net-stress"),
+        (123, 0, "eth-backup"),
+        (123, 1, "net-stress"),
+    ]
+    for seed, index, profile in matrix:
+        sc_a = generate_scenario(index, seed, profile=profile)
+        sc_b = generate_scenario(index, seed, profile=profile)
+        assert sc_a.to_json() == sc_b.to_json(), (seed, index, profile)
+        a = run_scenario(sc_a)
+        b = run_scenario(sc_b)
+        assert a.crashed is None, (seed, index, profile, a.crashed)
+        assert _compared_json(a) == _compared_json(b), (seed, index, profile)
+
+
+def test_net_stress_profile_pauses_and_stays_clean():
+    """net-stress scenarios inject PAUSE mid-train and still pass their
+    oracle: the split/recommit slow path is differentially transparent."""
+    saw_pause = False
+    for i in range(12):
+        sc = generate_scenario(i, SEED, profile="net-stress")
+        assert sc.fabric == "eth"
+        saw_pause |= any(op.kind == "pause" for op in sc.ops)
+        failure = check_scenario(sc)
+        assert failure is None, (
+            f"net-stress scenario {i}: {failure.describe()}"
+        )
+    assert saw_pause
+
+
 def test_npf_run_actually_faults():
     sc = generate_scenario(1, SEED)
     assert sc.fabric == "eth" and sc.mode == "npf"

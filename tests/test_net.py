@@ -135,6 +135,76 @@ def test_switch_drops_unknown_destination():
     assert switch.dropped == 1
 
 
+def test_pause_mid_train_splits_at_packet_boundary():
+    """PAUSE during a committed train stalls exactly the packets whose
+    serialization had not started; the one mid-wire finishes (802.3x
+    pauses between frames, never within one)."""
+    env = Environment()
+    sink = Sink(env, "rx")
+    link = Link(env, rate_bps=1 * Gbps, propagation_delay=0.0)
+    link.connect(sink.receive)
+    # 4 x 1250B back-to-back: serialization finishes at 10/20/30/40 us.
+    assert link.send_many([Packet("tx", "rx", size=1250) for _ in range(4)]) == 4
+    env.run(until=15 * us)  # packet 1 (ends at 20 us) is mid-wire
+    link.pause()
+    env.run(until=100 * us)
+    times = [t for t, _ in sink.received]
+    assert times == pytest.approx([10 * us, 20 * us])  # mid-wire one finished
+    # Of the two stalled packets, one is held by the stalled serializer
+    # (popped before the gate check) and one still queues.
+    assert link.queued_packets == 1
+    link.resume()
+    env.run()
+    times = [t for t, _ in sink.received]
+    # The stalled tail restarts back-to-back at the resume time (100 us).
+    assert times == pytest.approx([10 * us, 20 * us, 110 * us, 120 * us])
+    assert link.sent_packets == 4
+    assert link.sent_bytes == 4 * 1250
+
+
+def test_send_many_overflow_parity_with_send():
+    """send_many applies the exact per-packet acceptance rule: same
+    accept count, same drop accounting, same delivery times."""
+    def run(bulk):
+        env = Environment()
+        sink = Sink(env, "rx")
+        link = Link(env, rate_bps=1 * Gbps, buffer_packets=2,
+                    propagation_delay=0.0)
+        link.connect(sink.receive)
+        packets = [Packet("tx", "rx", size=1250) for _ in range(6)]
+        if bulk:
+            accepted = link.send_many(packets)
+        else:
+            accepted = sum(1 for p in packets if link.send(p))
+        dropped = link.dropped_packets
+        env.run()
+        return accepted, dropped, [t for t, _ in sink.received]
+
+    loop = run(bulk=False)
+    many = run(bulk=True)
+    assert many == loop
+    assert many[0] == 3 and many[1] == 3  # idle-start capacity = buffer + 1
+
+
+def test_two_links_equal_time_fifo_delivery():
+    """Deliveries scheduled for the same instant on different links keep
+    schedule order — the engine's equal-time FIFO, which the analytic
+    train timestamps must not break."""
+    env = Environment()
+    sink = Sink(env, "rx")
+    links = [Link(env, rate_bps=1 * Gbps, propagation_delay=0.0, name=f"l{i}")
+             for i in range(2)]
+    for link in links:
+        link.connect(sink.receive)
+    first = Packet("a", "rx", size=1250)
+    second = Packet("b", "rx", size=1250)
+    links[0].send(first)       # delivers at exactly 10 us
+    links[1].send(second)      # same timestamp, scheduled after
+    env.run()
+    assert [t for t, _ in sink.received] == pytest.approx([10 * us, 10 * us])
+    assert [p for _, p in sink.received] == [first, second]
+
+
 def test_switch_congestion_spreading():
     """PAUSE on a hot egress propagates to upstream ports (paper §3)."""
     env = Environment()

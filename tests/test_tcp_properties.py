@@ -19,7 +19,11 @@ def build(loss_pattern=None, tcp_params=None):
         env, RxMode.PIN, tcp_params=tcp_params
     )
     if loss_pattern is not None:
-        original = cli_user.host.nic.link.send
+        # Intercept at the far end of the wire (the supported
+        # ``Link.connect`` hook): serialization order equals send order,
+        # so the transmission index matches the old send-side count.
+        link = cli_user.host.nic.link
+        original = link._receiver
         state = {"index": 0}
 
         def lossy(packet):
@@ -28,10 +32,10 @@ def build(loss_pattern=None, tcp_params=None):
                 drop = state["index"] in loss_pattern
                 state["index"] += 1
                 if drop:
-                    return True  # swallowed by the wire
-            return original(packet)
+                    return  # swallowed by the wire
+            original(packet)
 
-        cli_user.host.nic.link.send = lossy
+        link.connect(lossy)
     return env, srv_user, cli_user
 
 

@@ -148,19 +148,21 @@ def test_fast_retransmit_recovers_from_single_loss():
     conn = cli_user.stack.connect("server", "srv0")
     env.run(until=0.01)  # establish first
 
-    # Force exactly one data packet to vanish on the wire.
-    original_send = cli_user.host.nic.link.send
+    # Force exactly one data packet to vanish on the wire (intercepted
+    # at the delivery end via the supported ``Link.connect`` hook).
+    link = cli_user.host.nic.link
+    original_receive = link._receiver
     state = {"dropped": False}
 
-    def lossy_send(packet):
+    def lossy_receive(packet):
         seg = packet.payload
         if (not state["dropped"] and getattr(seg, "length", 0) > 0
                 and seg.seq > 0):
             state["dropped"] = True
-            return True  # swallowed
-        return original_send(packet)
+            return  # swallowed
+        original_receive(packet)
 
-    cli_user.host.nic.link.send = lossy_send
+    link.connect(lossy_receive)
     conn.send(512 * KB)
     env.run(until=0.15)
     assert sum(got) == 512 * KB

@@ -271,6 +271,86 @@ def bench_npf_service(scale: int) -> int:
     return scale
 
 
+def bench_link_stream(scale: int) -> int:
+    """Back-to-back packet trains through one link (the net datapath).
+
+    A feeder keeps 1024-packet bursts in flight: each burst is enqueued
+    back-to-back (the link's tx buffer holds it whole), and the next
+    burst is sent once the previous one has fully delivered — the exact
+    shape the burst-mode datapath amortizes (long trains, no PAUSE
+    edges).  Uses only the public ``Link`` API so the same body runs on
+    pre-burst checkouts for seed comparisons.
+    """
+    from repro.net import Link, Packet
+    from repro.sim.units import Gbps
+
+    env = Environment()
+    burst = 1024
+    n_bursts = max(1, scale // burst)
+    link = Link(env, rate_bps=40 * Gbps, propagation_delay=1e-6,
+                buffer_packets=2 * burst, name="stream")
+    state = {"received": 0, "bursts_left": n_bursts}
+
+    def send_burst():
+        state["bursts_left"] -= 1
+        for i in range(burst):
+            link.send(Packet("tx", "rx", size=1538, flow="stream"))
+
+    def sink(packet):
+        state["received"] += 1
+        if state["received"] % burst == 0 and state["bursts_left"] > 0:
+            send_burst()
+
+    link.connect(sink)
+    send_burst()
+    env.run()
+    assert state["received"] == n_bursts * burst
+    return n_bursts * burst
+
+
+def bench_switch_fanout(scale: int) -> int:
+    """Burst fan-out through an output-queued switch (8 egress ports).
+
+    Every packet pays the switch's forwarding decision and the
+    flow-control backpressure probe (``queued_packets``) on its egress —
+    the per-packet switch costs the burst datapath has to keep cheap.
+    Packets arrive as one long ingress train round-robined over the
+    ports, so each egress serializes a back-to-back train of its own.
+    """
+    from repro.net import Link, Packet, Switch
+    from repro.sim.units import Gbps
+
+    env = Environment()
+    n_ports = 8
+    per_port = max(1, scale // n_ports)
+    switch = Switch(env, flow_control=True, buffer_per_port=1 << 30)
+
+    class _Sink:
+        __slots__ = ("count",)
+
+        def __init__(self):
+            self.count = 0
+
+        def receive(self, packet):
+            self.count += 1
+
+    sinks = []
+    for p in range(n_ports):
+        sink = _Sink()
+        egress = Link(env, rate_bps=40 * Gbps, propagation_delay=1e-6,
+                      buffer_packets=per_port + 1, name=f"sw->p{p}")
+        egress.connect(sink.receive)
+        switch.attach(f"p{p}", egress)
+        sinks.append(sink)
+    receive = switch.receive
+    for i in range(per_port):
+        for p in range(n_ports):
+            receive(Packet("src", f"p{p}", size=1538))
+    env.run()
+    assert sum(s.count for s in sinks) == per_port * n_ports
+    return per_port * n_ports
+
+
 def bench_e2e_fig3(scale: int) -> int:
     """One end-to-end experiment (Figure 3 breakdown, real driver flows)."""
     from repro.experiments import fig3_breakdown
@@ -289,6 +369,8 @@ BENCHMARKS = {
     "touch_range_fault": (bench_touch_range_fault, 50_000, "pages"),
     "iommu_translate": (bench_iommu_translate, 200_000, "pages"),
     "npf_service": (bench_npf_service, 20_000, "faults"),
+    "link_stream": (bench_link_stream, 200_000, "packets"),
+    "switch_fanout": (bench_switch_fanout, 100_000, "packets"),
     "e2e_fig3": (bench_e2e_fig3, 200_000, "samples"),
 }
 
@@ -298,10 +380,12 @@ BENCHMARKS = {
 #: fault-dominated Figure 3 end-to-end run.  The calendar-queue swap
 #: added two scheduler microbenches: the mixed-horizon enqueue shape
 #: (the heap's best case, guarding the calendar's worst) and the
-#: calendar-vs-heap head-to-head.  The gate figure is their *combined*
-#: wall clock (seed sum / optimized sum).
+#: calendar-vs-heap head-to-head.  The burst-mode network datapath
+#: added the packet-train stream and the switch fan-out.  The gate
+#: figure is their *combined* wall clock (seed sum / optimized sum).
 GATE = ("des_dispatch", "des_enqueue_mixed", "calendar_vs_heap",
-        "touch_range_fault", "npf_service", "e2e_fig3")
+        "touch_range_fault", "npf_service", "link_stream",
+        "switch_fanout", "e2e_fig3")
 
 #: sub-second experiments used by ``--experiments --quick`` (CI smoke).
 QUICK_EXPERIMENTS = ("fig3", "table3", "sec63", "ablation-batching",

@@ -67,7 +67,7 @@ def _is_hot_module(path: str) -> bool:
     return (
         rel == ("sim", "engine.py")
         or rel == ("mem", "memory.py")
-        or (len(rel) == 2 and rel[0] == "iommu")
+        or (len(rel) == 2 and rel[0] in ("iommu", "net", "nic", "transport"))
     )
 
 
