@@ -10,15 +10,22 @@ FUZZ_N ?= 5000
 FUZZ_SEED ?= 3405691582
 
 .PHONY: test lint lint-flow sanitize bench bench-quick bench-quick-record \
-        bench-experiments profile profile-net experiments fuzz fuzz-smoke
+        bench-experiments bench-dispatch dispatch-smoke profile profile-net \
+        experiments fuzz fuzz-smoke
 
-## Lint + bench smoke + fuzz smoke + full test suite.
+## Lint + bench smoke + fuzz smoke + dispatch smoke + full test suite.
 ## tests/test_experiments_runner.py includes the parallel-equals-sequential
 ## smoke check for the experiment engine; bench-quick fails if a gated
 ## benchmark regresses below 0.9x of its committed
 ## BENCH_substrate_quick.json throughput.
-test: lint lint-flow bench-quick fuzz-smoke
+test: lint lint-flow bench-quick fuzz-smoke dispatch-smoke
 	$(PYTHON) -m pytest -x -q
+
+## CI smoke for the distributed dispatch path: spawn 2 localhost cell
+## workers, run a reduced suite through them, assert byte-identical
+## output and that the dispatch mode actually engaged.
+dispatch-smoke:
+	$(PYTHON) tools/dispatch_smoke.py
 
 ## Determinism / DMA-invariant static analysis (tools/lint).
 ## Results are content-hash cached under .repro-cache/lint/; warm runs
@@ -56,6 +63,12 @@ bench-quick-record:
 ## and warm-cache, verify byte-identical output -> BENCH_experiments.json.
 bench-experiments:
 	$(PYTHON) tools/bench_substrate.py --experiments --jobs $(JOBS)
+
+## The dispatch_overhead gate: in-process vs loopback 1-worker dispatch
+## vs --spawn-workers autospawn, byte-identity enforced, overhead bound
+## 1.3x -> BENCH_experiments.json.
+bench-dispatch:
+	$(PYTHON) tools/bench_substrate.py --dispatch
 
 ## Differential fuzz smoke: 200 scenarios under a pinned seed, sanitized,
 ## NPF run vs. static-pinning oracle.  Any failure is shrunk to a replay

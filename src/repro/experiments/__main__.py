@@ -5,15 +5,21 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig3 table4 ...
     python -m repro.experiments run all --jobs 8
+    python -m repro.experiments run all --workers box1:9001,box2:9001
+    python -m repro.experiments run all --spawn-workers 4
     python -m repro.experiments run all --json results.json
     python -m repro.experiments profile [names...] [--jobs N]
 
 Each experiment prints the paper-style table it reproduces.  ``run``
 fans the experiments' sweep cells across a process pool (``--jobs``,
-default: all cores) and caches cell results under ``.repro-cache/``
-keyed by config + source hash (``--no-cache`` forces recompute); the
-tables land on stdout — byte-identical whatever ``--jobs`` is — while
-timing and cache accounting go to stderr.  ``profile`` runs the
+default: all cores) — or across dispatch workers on other machines
+(``--workers host:port,...``, each a ``python -m
+repro.experiments.serve`` process on the same checkout; or
+``--spawn-workers N`` localhost autospawn) — and caches cell results
+under ``.repro-cache/`` keyed by config + source hash (``--no-cache``
+forces recompute); the tables land on stdout — byte-identical whatever
+``--jobs`` or the worker fleet is — while timing, cache accounting and
+the effective execution mode go to stderr.  ``profile`` runs the
 substrate micro-benchmarks (or named experiments) under cProfile and
 prints the top functions by cumulative time.
 """
@@ -125,6 +131,21 @@ def main(argv: List[str] | None = None) -> int:
                                  "writing .repro-cache/")
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also dump the results as JSON to PATH")
+    run_parser.add_argument("--workers", metavar="HOST:PORT,...",
+                            default=None,
+                            help="dispatch cells to these cell servers "
+                                 "(python -m repro.experiments.serve); "
+                                 "comma-separated host:port endpoints")
+    run_parser.add_argument("--spawn-workers", type=int, default=0,
+                            metavar="N",
+                            help="autospawn N localhost cell servers for "
+                                 "this run (honest fallback: stays "
+                                 "in-process when they cannot win)")
+    run_parser.add_argument("--cell-timeout", type=float, default=None,
+                            metavar="S",
+                            help="per-cell wait bound for pooled/dispatched "
+                                 "execution (default 600; timed-out cells "
+                                 "are reassigned or retried in-process)")
     profile_parser = sub.add_parser(
         "profile",
         help="profile the substrate micro-benchmarks (or experiments) "
@@ -158,8 +179,19 @@ def main(argv: List[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
+    if args.workers:
+        from .dispatch import parse_endpoints
 
-    report = run_many(names, jobs=args.jobs, cache=not args.no_cache)
+        try:
+            parse_endpoints(args.workers)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_many(names, jobs=args.jobs, cache=not args.no_cache,
+                      workers=args.workers,
+                      spawn_workers=args.spawn_workers,
+                      cell_timeout=args.cell_timeout)
     for result in report.results.values():
         print_result(result)
         print()
@@ -169,6 +201,8 @@ def main(argv: List[str] | None = None) -> int:
           f"in {report.wall_s:.1f}s with jobs={report.jobs or default_jobs()} "
           f"[{report.mode}]",
           file=sys.stderr)
+    for note in report.notes:
+        print(f"note: {note}", file=sys.stderr)
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(results_to_json(report.results.values()))

@@ -26,6 +26,7 @@ violation into a hard error.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 from collections import OrderedDict
@@ -149,11 +150,15 @@ class CacheStats:
 class RunReport:
     """What one ``run_many`` invocation did, for the CLI summary line.
 
-    ``mode`` is the *effective* execution mode — ``"in-process"`` or
-    ``"fork-pool(n)"`` — as chosen by :func:`execute_cells` after the
-    fallback heuristics, not the requested ``jobs``.  Benchmarks record
-    it so a pool that would lose to sequential execution can never be
-    reported as a pool silently (see ``tools/bench_substrate.py``).
+    ``mode`` is the *effective* execution mode — ``"in-process"``,
+    ``"fork-pool(n)"`` or ``"dispatch(n=K, stolen=S, reassigned=R)"`` —
+    as chosen by :func:`execute_cells` after the fallback heuristics,
+    not the requested ``jobs``/workers.  Benchmarks record it so a pool
+    or dispatch fan-out that would lose to (or silently degrade to)
+    sequential execution can never be reported as parallel silently
+    (see ``tools/bench_substrate.py``).  ``notes`` records fallback and
+    degradation events (dead workers, timed-out pool cells) for the
+    stderr summary.
     """
 
     jobs: int
@@ -162,11 +167,28 @@ class RunReport:
     stats: CacheStats = field(default_factory=CacheStats)
     wall_s: float = 0.0
     mode: str = "in-process"
+    notes: List[str] = field(default_factory=list)
 
 
 #: Below this many pending cells a fork pool cannot amortize its
 #: startup + pickle cost against typical cell runtimes; stay in-process.
 _MIN_POOL_CELLS = 4
+
+#: Per-cell wait bound for pooled and dispatched execution.  The
+#: longest legitimate cells (fig7's one-minute configs) finish in well
+#: under a tenth of this, so it only ever fires on a genuinely wedged
+#: worker — which previously stalled ``run all`` forever.  Overridable
+#: per call (``cell_timeout=``) or via ``REPRO_CELL_TIMEOUT`` (seconds;
+#: 0 disables).
+DEFAULT_CELL_TIMEOUT_S = 600.0
+
+
+def _default_cell_timeout() -> Optional[float]:
+    raw = os.environ.get("REPRO_CELL_TIMEOUT")
+    if raw is None:
+        return DEFAULT_CELL_TIMEOUT_S
+    value = float(raw)
+    return value if value > 0 else None
 
 
 def usable_cpus() -> int:
@@ -232,8 +254,19 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / key[:2] / f"{key}.pkl"
 
 
-def _cache_load(path: Path) -> Any:
-    return pickle.loads(path.read_bytes())
+def _cache_load(path: Path) -> "tuple[bool, Any]":
+    """Load one cache entry; ``(False, None)`` when it is unreadable.
+
+    A truncated or corrupt file (a writer killed before the atomic
+    publish existed, disk trouble, a garbage file dropped into the
+    cache dir) must read as a *miss* — the cell recomputes and the
+    entry is republished — never as an unpickling crash that takes the
+    whole sweep down.
+    """
+    try:
+        return True, pickle.loads(path.read_bytes())
+    except Exception:
+        return False, None
 
 
 def _cache_store(path: Path, fragment: Any) -> None:
@@ -244,29 +277,106 @@ def _cache_store(path: Path, fragment: Any) -> None:
     os.replace(tmp, path)
 
 
+def _note(report: Optional[RunReport], text: str) -> None:
+    if report is not None:
+        report.notes.append(text)
+
+
+def _dispatch_pending(cells: Sequence[Cell], pending: List[int],
+                      endpoints, spawn_workers: int,
+                      cell_timeout: Optional[float],
+                      report: Optional[RunReport]) -> Optional[Dict[int, Any]]:
+    """Try the distributed path for ``pending``; None means fall back.
+
+    Explicit ``endpoints`` are always honored (the caller asserted they
+    exist — typically other machines).  ``spawn_workers`` localhost
+    autospawn goes through the same honesty heuristic as the fork pool:
+    on a <= 2-core box, or for a sweep too small to amortize worker
+    startup, spawning local workers cannot win and the caller's
+    in-process/pool path runs instead — with the reason recorded.
+    """
+    from . import dispatch as dispatch_mod
+
+    spawn = 0
+    if spawn_workers > 0:
+        if usable_cpus() <= 2:
+            _note(report, f"dispatch fallback: --spawn-workers "
+                          f"{spawn_workers} on a {usable_cpus()}-core box "
+                          f"cannot win; staying local")
+        elif len(pending) < _MIN_POOL_CELLS:
+            _note(report, f"dispatch fallback: only {len(pending)} pending "
+                          f"cell(s); not worth spawning workers")
+        else:
+            spawn = spawn_workers
+    if not endpoints and not spawn:
+        return None
+
+    timeout = (cell_timeout if cell_timeout is not None
+               else _default_cell_timeout()) or DEFAULT_CELL_TIMEOUT_S
+    jobs = [(i, cells[i]) for i in pending]
+    sanitize = _sanitize_requested()
+    try:
+        with contextlib.ExitStack() as stack:
+            all_endpoints = list(endpoints)
+            if spawn:
+                all_endpoints.extend(
+                    stack.enter_context(dispatch_mod.spawned_workers(spawn)))
+            results, dstats = dispatch_mod.dispatch_cells(
+                jobs, all_endpoints, source_fingerprint(), timeout,
+                sanitize, _execute_cell)
+    except dispatch_mod.DispatchUnavailable as exc:
+        _note(report, f"dispatch fallback: {exc}")
+        return None
+    if report is not None:
+        report.mode = dstats.mode()
+    if dstats.dead:
+        _note(report, f"dispatch: worker(s) lost mid-run: "
+                      f"{', '.join(dstats.dead)}; {dstats.reassigned} "
+                      f"cell(s) reassigned, {dstats.local} completed "
+                      f"in-process")
+    if dstats.rejected:
+        _note(report, f"dispatch: stale worker(s) rejected: "
+                      f"{'; '.join(dstats.rejected)}")
+    return results
+
+
 def execute_cells(cells: Sequence[Cell],
                   jobs: Optional[int] = None,
                   cache: bool = True,
                   cache_dir: Optional[os.PathLike] = None,
                   fingerprint: Optional[str] = None,
                   stats: Optional[CacheStats] = None,
-                  report: Optional[RunReport] = None) -> List[Any]:
+                  report: Optional[RunReport] = None,
+                  workers=None,
+                  spawn_workers: int = 0,
+                  cell_timeout: Optional[float] = None) -> List[Any]:
     """Execute ``cells``, returning fragments in the cells' order.
 
     Cached fragments are loaded instead of recomputed; missing ones run
-    in-process or across a fork pool, and are published to the cache
-    afterwards.  ``fingerprint`` overrides the source-tree hash (tests
-    use this to force invalidation without editing files).
+    in-process, across a fork pool, or across dispatch workers
+    (``workers`` — parsed ``host:port`` endpoints or a spec string —
+    and/or ``spawn_workers`` localhost autospawns), and are published
+    to the cache afterwards.  ``fingerprint`` overrides the source-tree
+    hash (tests use this to force invalidation without editing files).
 
     Parallelism is honest: the pool is only forked when it can plausibly
     win — more than two usable cores AND at least ``_MIN_POOL_CELLS``
     pending cells AND ``jobs > 1`` — otherwise execution stays
-    in-process (no fork, no pickling, ambient observers intact).  Pooled
-    cells are dispatched through chunked ``imap_unordered`` so slow
-    cells overlap instead of barrier-batching, and fragments are
-    reassembled by cell index, so the output is bit-identical to the
-    in-process order whatever completes first.  The chosen mode is
-    recorded on ``report`` when one is passed.
+    in-process (no fork, no pickling, ambient observers intact), and
+    localhost worker autospawn obeys the same heuristic.  Cache-hit
+    cells never travel: only pending cells are pooled or dispatched.
+    Fragments are reassembled by cell index whatever completes (or
+    dies) first, so the output is bit-identical to the in-process
+    order at any job/worker count.  The chosen mode is recorded on
+    ``report`` when one is passed.
+
+    Robustness: pooled and dispatched cells wait at most
+    ``cell_timeout`` seconds (default :data:`DEFAULT_CELL_TIMEOUT_S`,
+    env ``REPRO_CELL_TIMEOUT``); a wedged pool is terminated and its
+    unfinished cells retried in-process, a wedged or dead dispatch
+    worker has its cells reassigned (in-process when no worker
+    remains).  A stuck child can therefore no longer stall ``run all``
+    forever.
     """
     jobs = jobs if jobs else default_jobs()
     if stats is None:
@@ -287,44 +397,29 @@ def execute_cells(cells: Sequence[Cell],
         path = _cache_path(cache_root, cell_fingerprint(spec, source_fp))
         paths[i] = path
         if path.exists():
-            fragments[i] = _cache_load(path)
-            stats.hits += 1
-        else:
-            pending.append(i)
+            ok, fragment = _cache_load(path)
+            if ok:
+                fragments[i] = fragment
+                stats.hits += 1
+                continue
+        pending.append(i)
     stats.misses += len(pending)
 
     if pending:
-        n_workers = min(jobs, len(pending))
-        use_pool = (n_workers > 1
-                    and len(pending) >= _MIN_POOL_CELLS
-                    and usable_cpus() > 2)
-        if not use_pool:
-            # In-process fallback: no pool, no pickling, ambient
-            # observers (a test-session DMAsan) keep seeing events.
-            # ``REPRO_SANITIZE=1`` still gets its per-cell sanitizer
-            # session (they nest), so the sanitize contract does not
-            # depend on whether the pool heuristics engaged.
-            if report is not None:
-                report.mode = "in-process"
-            computed = [_execute_cell(cells[i]) for i in pending]
+        endpoints = ()
+        if workers:
+            from .dispatch.client import parse_endpoints
+            endpoints = parse_endpoints(workers)
+        computed_map: Optional[Dict[int, Any]] = None
+        if endpoints or spawn_workers > 0:
+            computed_map = _dispatch_pending(cells, pending, endpoints,
+                                             spawn_workers, cell_timeout,
+                                             report)
+        if computed_map is not None:
+            computed = [computed_map[i] for i in pending]
         else:
-            import multiprocessing
-
-            if report is not None:
-                report.mode = f"fork-pool({n_workers})"
-            # Chunked imap_unordered: workers pull work as they finish
-            # (slow cells overlap instead of barrier-batching a map),
-            # chunks amortize per-task pickle round-trips, and index
-            # tags restore deterministic order on reassembly.
-            chunksize = max(1, len(pending) // (n_workers * 4))
-            by_index: Dict[int, Any] = {}
-            with multiprocessing.get_context("fork").Pool(n_workers) as pool:
-                for i, fragment in pool.imap_unordered(
-                        _execute_cell_indexed,
-                        [(i, cells[i]) for i in pending],
-                        chunksize=chunksize):
-                    by_index[i] = fragment
-            computed = [by_index[i] for i in pending]
+            computed = _execute_local(cells, pending, jobs, cell_timeout,
+                                      report)
         for i, fragment in zip(pending, computed):
             fragments[i] = fragment
             if cache:
@@ -334,12 +429,75 @@ def execute_cells(cells: Sequence[Cell],
     return fragments
 
 
+def _execute_local(cells: Sequence[Cell], pending: List[int],
+                   jobs: int, cell_timeout: Optional[float],
+                   report: Optional[RunReport]) -> List[Any]:
+    """The single-box path: fork pool when it can win, else in-process."""
+    n_workers = min(jobs, len(pending))
+    use_pool = (n_workers > 1
+                and len(pending) >= _MIN_POOL_CELLS
+                and usable_cpus() > 2)
+    if not use_pool:
+        # In-process fallback: no pool, no pickling, ambient
+        # observers (a test-session DMAsan) keep seeing events.
+        # ``REPRO_SANITIZE=1`` still gets its per-cell sanitizer
+        # session (they nest), so the sanitize contract does not
+        # depend on whether the pool heuristics engaged.
+        if report is not None:
+            report.mode = "in-process"
+        return [_execute_cell(cells[i]) for i in pending]
+
+    import multiprocessing
+
+    timeout = (cell_timeout if cell_timeout is not None
+               else _default_cell_timeout())
+    # Chunked imap_unordered: workers pull work as they finish
+    # (slow cells overlap instead of barrier-batching a map),
+    # chunks amortize per-task pickle round-trips, and index
+    # tags restore deterministic order on reassembly.
+    chunksize = max(1, len(pending) // (n_workers * 4))
+    by_index: Dict[int, Any] = {}
+    retried: List[int] = []
+    with multiprocessing.get_context("fork").Pool(n_workers) as pool:
+        results = pool.imap_unordered(
+            _execute_cell_indexed,
+            [(i, cells[i]) for i in pending],
+            chunksize=chunksize)
+        while len(by_index) + len(retried) < len(pending):
+            try:
+                i, fragment = (results.next(timeout) if timeout
+                               else results.next())
+            except StopIteration:
+                break
+            except multiprocessing.TimeoutError:
+                # A wedged child would stall the sweep forever; kill
+                # the pool and retry everything unfinished in-process
+                # (a chunk stuck behind the wedged cell never started).
+                pool.terminate()
+                retried = [i for i in pending if i not in by_index]
+                break
+            by_index[i] = fragment
+    for i in retried:
+        by_index[i] = _execute_cell(cells[i])
+    if report is not None:
+        report.mode = f"fork-pool({n_workers})"
+        if retried:
+            report.mode += f"+retry({len(retried)})"
+            _note(report, f"fork-pool: cell wait exceeded {timeout}s; "
+                          f"pool terminated, {len(retried)} cell(s) "
+                          f"retried in-process")
+    return [by_index[i] for i in pending]
+
+
 def run_experiment(name: str,
                    jobs: Optional[int] = None,
                    cache: bool = True,
                    cache_dir: Optional[os.PathLike] = None,
                    fingerprint: Optional[str] = None,
                    stats: Optional[CacheStats] = None,
+                   workers=None,
+                   spawn_workers: int = 0,
+                   cell_timeout: Optional[float] = None,
                    **kwargs: Any) -> ExperimentResult:
     """Run one registry entry through the cell engine.
 
@@ -350,7 +508,9 @@ def run_experiment(name: str,
     sweep = spec.cells(**kwargs)
     fragments = execute_cells(sweep, jobs=jobs, cache=cache,
                               cache_dir=cache_dir, fingerprint=fingerprint,
-                              stats=stats)
+                              stats=stats, workers=workers,
+                              spawn_workers=spawn_workers,
+                              cell_timeout=cell_timeout)
     return spec.merge(sweep, fragments)
 
 
@@ -358,12 +518,16 @@ def run_many(names: Sequence[str],
              jobs: Optional[int] = None,
              cache: bool = True,
              cache_dir: Optional[os.PathLike] = None,
-             fingerprint: Optional[str] = None) -> RunReport:
+             fingerprint: Optional[str] = None,
+             workers=None,
+             spawn_workers: int = 0,
+             cell_timeout: Optional[float] = None) -> RunReport:
     """Run several experiments as ONE flat cell sweep.
 
-    All cells from all requested experiments share the pool, so a long
-    sweep (fig7's two one-minute configs) overlaps with everything
-    else instead of serializing behind its own two-cell fan-out.
+    All cells from all requested experiments share the pool (or the
+    dispatch worker fleet), so a long sweep (fig7's two one-minute
+    configs) overlaps with everything else instead of serializing
+    behind its own two-cell fan-out.
     """
     jobs = jobs if jobs else default_jobs()
     report = RunReport(jobs=jobs)
@@ -378,7 +542,9 @@ def run_many(names: Sequence[str],
 
     fragments = execute_cells(flat, jobs=jobs, cache=cache,
                               cache_dir=cache_dir, fingerprint=fingerprint,
-                              stats=report.stats, report=report)
+                              stats=report.stats, report=report,
+                              workers=workers, spawn_workers=spawn_workers,
+                              cell_timeout=cell_timeout)
 
     offset = 0
     for name, sweep in sweeps.items():

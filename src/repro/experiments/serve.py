@@ -1,0 +1,15 @@
+"""``python -m repro.experiments.serve`` — start a dispatch worker.
+
+Thin wrapper over :func:`repro.experiments.dispatch.server.main`; see
+that module (and DESIGN.md "Distributed dispatch") for the protocol
+and failure semantics.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .dispatch.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Planted bug for RL013: blocking socket I/O without a timeout.
+
+Analyzed (under a ``src/repro/experiments/dispatch/`` display path),
+never imported.  ``pull_forever`` blocks on ``recv``/``accept`` with
+no timeout armed — exactly the wedge the dispatch transport must never
+contain.  The fixed twins below arm a timeout first and must stay
+silent.
+"""
+
+import socket
+
+
+def pull_forever(sock):
+    header = sock.recv(4)  # PLANT: RL013
+    return header
+
+
+def wait_for_client(listener):
+    conn, addr = listener.accept()  # PLANT: RL013
+    return conn
+
+
+def dial(host, port):
+    s = socket.socket()
+    s.connect((host, port))  # PLANT: RL013
+    return s
+
+
+# -- fixed twins: timeout armed, no findings ---------------------------------
+
+def pull_bounded(sock, timeout):
+    sock.settimeout(timeout)
+    return sock.recv(4)
+
+
+def wait_bounded(listener, timeout):
+    listener.settimeout(timeout)
+    conn, _addr = listener.accept()
+    return conn
+
+
+def dial_bounded(host, port, timeout):
+    return socket.create_connection((host, port), timeout=timeout)

@@ -226,6 +226,124 @@ def test_pooled_cell_violation_fails_loudly(monkeypatch):
         runner.execute_cells([spec, other], jobs=2, cache=False)
 
 
+# -- pool robustness: the hung-worker hazard ---------------------------------
+
+def cell_pool_sleeper(value: int) -> int:
+    """Wedges only inside a pool child; instant on the in-process retry.
+
+    ``multiprocessing.parent_process()`` is None in the main process,
+    so the timeout path's retry completes immediately — the test
+    observes the terminate-and-retry machinery, not a long sleep.
+    """
+    import time
+
+    if multiprocessing.parent_process() is not None:
+        time.sleep(60.0)
+    return value * 7
+
+
+def cell_quick(value: int) -> int:
+    return value * 3
+
+
+@needs_fork
+def test_pool_cell_timeout_terminates_and_retries_in_process(monkeypatch):
+    """A wedged pool child used to stall ``run all`` forever; now the
+    pool is terminated and unfinished cells retried in-process."""
+    monkeypatch.setattr(runner, "usable_cpus", lambda: 4)
+    cells = [Cell("drill", 0, "tests.test_experiments_runner:"
+                  "cell_pool_sleeper", (("value", 6),))]
+    cells += [Cell("drill", i, "tests.test_experiments_runner:cell_quick",
+                   (("value", i),)) for i in range(1, 6)]
+    report = runner.RunReport(jobs=2)
+    fragments = runner.execute_cells(cells, jobs=2, cache=False,
+                                     cell_timeout=2.0, report=report)
+    assert fragments == [42, 3, 6, 9, 12, 15]
+    assert report.mode.startswith("fork-pool(2)+retry("), report.mode
+    assert any("retried in-process" in note for note in report.notes)
+
+
+@needs_fork
+def test_pool_timeout_disabled_via_env(monkeypatch):
+    """REPRO_CELL_TIMEOUT=0 disables the bound (opt-out stays possible)."""
+    monkeypatch.setenv("REPRO_CELL_TIMEOUT", "0")
+    assert runner._default_cell_timeout() is None
+    monkeypatch.setenv("REPRO_CELL_TIMEOUT", "120")
+    assert runner._default_cell_timeout() == 120.0
+    monkeypatch.delenv("REPRO_CELL_TIMEOUT")
+    assert runner._default_cell_timeout() == runner.DEFAULT_CELL_TIMEOUT_S
+
+
+# -- cache hardening: corrupt entries and concurrent writers -----------------
+
+def test_corrupt_cache_entry_reads_as_miss_and_heals(tmp_path):
+    populate = CacheStats()
+    first = run_experiment("table3", jobs=1, cache_dir=tmp_path,
+                           stats=populate)
+    assert populate.misses == 4
+    entries = sorted(tmp_path.rglob("*.pkl"))
+    assert len(entries) == 4
+    entries[0].write_bytes(b"\x80\x04 torn mid-write")  # truncated pickle
+    entries[1].write_bytes(b"")                          # zero-length
+
+    stats = CacheStats()
+    second = run_experiment("table3", jobs=1, cache_dir=tmp_path,
+                            stats=stats)
+    assert (stats.hits, stats.misses) == (2, 2)
+    assert _render([first]) == _render([second])
+    # Recomputation republished both entries: a third run is all hits.
+    healed = CacheStats()
+    run_experiment("table3", jobs=1, cache_dir=tmp_path, stats=healed)
+    assert (healed.hits, healed.misses) == (4, 0)
+
+
+def test_cache_load_rejects_garbage_without_raising(tmp_path):
+    path = tmp_path / "zz" / "deadbeef.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle at all")
+    assert runner._cache_load(path) == (False, None)
+
+
+def _hammer_cache_store(path, payload, iterations):
+    for _ in range(iterations):
+        runner._cache_store(path, payload)
+
+
+@needs_fork
+def test_concurrent_publishers_never_leave_a_torn_entry(tmp_path):
+    """Two processes racing ``_cache_store`` on the same key while a
+    reader polls: ``os.replace`` publish means every read is a complete
+    entry from one writer or the other, never a blend or a torn file."""
+    path = tmp_path / "ab" / "abcdef.pkl"
+    small = {"writer": "a", "rows": list(range(10))}
+    large = {"writer": "b", "rows": list(range(5000))}
+
+    ctx = multiprocessing.get_context("fork")
+    writers = [
+        ctx.Process(target=_hammer_cache_store, args=(path, small, 200)),
+        ctx.Process(target=_hammer_cache_store, args=(path, large, 200)),
+    ]
+    for proc in writers:
+        proc.start()
+    reads = 0
+    try:
+        while any(proc.is_alive() for proc in writers):
+            if path.exists():
+                ok, fragment = runner._cache_load(path)
+                assert ok, "reader saw a torn cache entry mid-publish"
+                assert fragment in (small, large)
+                reads += 1
+    finally:
+        for proc in writers:
+            proc.join(timeout=30)
+    assert all(proc.exitcode == 0 for proc in writers)
+    assert reads > 0, "reader never overlapped the writers"
+    ok, final = runner._cache_load(path)
+    assert ok and final in (small, large)
+    leftovers = [p for p in path.parent.iterdir() if p.suffix != ".pkl"]
+    assert not leftovers or all(".tmp." in p.name for p in leftovers)
+
+
 # -- run_many ----------------------------------------------------------------
 
 def test_run_many_reports_stats_and_order():

@@ -370,6 +370,56 @@ def test_rl008_exempts_sim_package(tmp_path):
     assert "RL008" not in _codes(findings)
 
 
+# -- RL013: socket timeouts in the dispatch transport -------------------------
+
+CORPUS = Path(__file__).resolve().parent / "static_corpus"
+
+
+def test_rl013_planted_corpus_caught_at_marked_lines():
+    """Every ``# PLANT: RL013`` line in the corpus is flagged — and
+    nothing else is (the fixed twins arm timeouts and stay silent)."""
+    corpus = CORPUS / "socket_no_timeout.py"
+    expected = [
+        i for i, text in enumerate(corpus.read_text().splitlines(), start=1)
+        if "# PLANT: RL013" in text
+    ]
+    assert len(expected) == 3, "corpus lost its planted bugs"
+    findings = lint_file(corpus, "src/repro/experiments/dispatch/bad.py")
+    assert sorted(f.line for f in findings if f.code == "RL013") == expected, \
+        "\n".join(f.render() for f in findings)
+    assert all(f.code == "RL013" for f in findings)
+
+
+def test_rl013_scoped_to_dispatch_package():
+    corpus = CORPUS / "socket_no_timeout.py"
+    outside = lint_file(corpus, "src/repro/net/bad.py")
+    assert "RL013" not in _codes(outside)
+
+
+def test_rl013_settimeout_in_same_function_satisfies(tmp_path):
+    findings = _lint_source(tmp_path, """\
+        def pull(sock, timeout):
+            sock.settimeout(timeout)
+            return sock.recv(4)
+        """, "src/repro/experiments/dispatch/proto.py")
+    assert "RL013" not in _codes(findings)
+
+
+def test_rl013_create_connection_needs_timeout(tmp_path):
+    flagged = _lint_source(tmp_path, """\
+        import socket
+        def dial(addr):
+            return socket.create_connection(addr)
+        """, "src/repro/experiments/dispatch/client2.py")
+    assert "RL013" in _codes(flagged)
+    clean = _lint_source(tmp_path, """\
+        import socket
+        def dial(addr):
+            return socket.create_connection(addr, timeout=5.0)
+        """, "src/repro/experiments/dispatch/client2.py")
+    assert "RL013" not in _codes(clean)
+
+
 # -- baseline ----------------------------------------------------------------
 
 def test_baseline_suppresses_matching_finding(tmp_path):

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI smoke for the distributed dispatch path (``make dispatch-smoke``).
+
+Spawns two localhost cell workers, runs a reduced experiment suite
+through them, and asserts:
+
+* the rendered tables AND the JSON export are byte-identical to the
+  same suite run in-process (the dispatch path's core promise);
+* the dispatch path actually engaged — effective mode
+  ``dispatch(n=2, ...)`` with every pending cell computed remotely
+  (a silent fallback to in-process would make the identity check
+  vacuous, so it fails the smoke).
+
+Exit status 0 on success, 1 on any divergence.  Runtime is a few
+seconds: the suite is the three fastest experiments, uncached.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import contextlib  # noqa: E402
+import io  # noqa: E402
+
+from repro.experiments.base import print_result, results_to_json  # noqa: E402
+from repro.experiments.dispatch import spawned_workers  # noqa: E402
+from repro.experiments.runner import run_many  # noqa: E402
+
+#: The fastest experiments with non-trivial sweeps: enough cells to
+#: exercise stealing and chunking without paying for the long sweeps.
+SMOKE_EXPERIMENTS = ("table3", "sec63", "ablation-batching")
+
+
+def _render(report) -> str:
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        for result in report.results.values():
+            print_result(result)
+    return buf.getvalue()
+
+
+def main() -> int:
+    names = list(SMOKE_EXPERIMENTS)
+    print(f"dispatch smoke: {', '.join(names)} across 2 localhost workers")
+
+    baseline = run_many(names, jobs=1, cache=False)
+    with spawned_workers(2) as endpoints:
+        dispatched = run_many(
+            names, cache=False,
+            workers=[f"{host}:{port}" for host, port in endpoints])
+
+    print(f"  in-process: {baseline.stats.total} cells in "
+          f"{baseline.wall_s:.1f}s [{baseline.mode}]")
+    print(f"  dispatched: {dispatched.stats.total} cells in "
+          f"{dispatched.wall_s:.1f}s [{dispatched.mode}]")
+    for note in dispatched.notes:
+        print(f"  note: {note}")
+
+    failures = []
+    if not dispatched.mode.startswith("dispatch(n=2,"):
+        failures.append(f"dispatch path did not engage "
+                        f"(mode {dispatched.mode!r})")
+    if _render(baseline) != _render(dispatched):
+        failures.append("rendered tables diverged from in-process")
+    if (results_to_json(baseline.results.values())
+            != results_to_json(dispatched.results.values())):
+        failures.append("JSON export diverged from in-process")
+
+    if failures:
+        for failure in failures:
+            print(f"ERROR: {failure}", file=sys.stderr)
+        return 1
+    print("  byte-identical output; dispatch smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
