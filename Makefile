@@ -10,16 +10,23 @@ FUZZ_N ?= 5000
 FUZZ_SEED ?= 3405691582
 
 .PHONY: test lint lint-flow sanitize bench bench-quick bench-quick-record \
-        bench-experiments bench-dispatch dispatch-smoke profile profile-net \
-        experiments fuzz fuzz-smoke
+        bench-experiments bench-dispatch bench-rack dispatch-smoke \
+        rack-smoke profile profile-net experiments fuzz fuzz-smoke
 
 ## Lint + bench smoke + fuzz smoke + dispatch smoke + full test suite.
 ## tests/test_experiments_runner.py includes the parallel-equals-sequential
 ## smoke check for the experiment engine; bench-quick fails if a gated
 ## benchmark regresses below 0.9x of its committed
 ## BENCH_substrate_quick.json throughput.
-test: lint lint-flow bench-quick fuzz-smoke dispatch-smoke
+test: lint lint-flow bench-quick fuzz-smoke dispatch-smoke rack-smoke
 	$(PYTHON) -m pytest -x -q
+
+## CI smoke for the rack fabric: the reduced 8-sender incast sweep,
+## sequential vs parallel byte-identity plus the GBN-worse-than-IRN
+## ordering under loss.  Read-only (--check): the committed
+## BENCH_experiments*.json records are never rewritten here.
+rack-smoke:
+	$(PYTHON) tools/bench_substrate.py --rack --quick --check
 
 ## CI smoke for the distributed dispatch path: spawn 2 localhost cell
 ## workers, run a reduced suite through them, assert byte-identical
@@ -70,12 +77,19 @@ bench-experiments:
 bench-dispatch:
 	$(PYTHON) tools/bench_substrate.py --dispatch
 
+## The rack_incast gate at full scale (16 senders): byte-identity plus
+## the 2x GBN-vs-IRN goodput-degradation separation under 1% loss ->
+## BENCH_experiments.json.
+bench-rack:
+	$(PYTHON) tools/bench_substrate.py --rack
+
 ## Differential fuzz smoke: 200 scenarios under a pinned seed, sanitized,
 ## NPF run vs. static-pinning oracle.  Any failure is shrunk to a replay
 ## file under fuzz-failures/ (re-run it: python -m repro.fuzz replay <f>).
 fuzz-smoke:
 	$(PYTHON) -m repro.fuzz run --n 200 --seed 3405691582
 	$(PYTHON) -m repro.fuzz run --n 60 --seed 3405691582 --profile net-stress
+	$(PYTHON) -m repro.fuzz run --n 60 --seed 3405691582 --profile rack
 
 ## Long campaign: make fuzz FUZZ_N=5000 [FUZZ_SEED=...]
 fuzz:

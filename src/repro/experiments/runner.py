@@ -43,6 +43,7 @@ from . import (
     fig8_storage,
     fig9_imb,
     fig10_whatif,
+    rack_incast,
     sec63_loc,
     table3_tradeoffs,
     table4_tail,
@@ -75,6 +76,10 @@ class ExperimentSpec:
     cells: Callable[..., List[Cell]]
     merge: Callable[[Sequence[Cell], List[Any]], ExperimentResult]
     run: Callable[..., ExperimentResult]   # sequential facade (API compat)
+    #: include in ``run all``?  Opt-out entries (the rack-incast sweep)
+    #: run by explicit name only, so the run-all transcript — a golden,
+    #: byte-compared artifact — is not changed by adding them.
+    default: bool = True
 
 
 SPECS: "OrderedDict[str, ExperimentSpec]" = OrderedDict(
@@ -128,6 +133,8 @@ SPECS: "OrderedDict[str, ExperimentSpec]" = OrderedDict(
         ExperimentSpec("ablation-read-rnr", ablations.read_rnr_cells,
                        ablations.merge_read_rnr,
                        ablations.run_read_rnr_extension),
+        ExperimentSpec("rack-incast", rack_incast.cells,
+                       rack_incast.merge, rack_incast.run, default=False),
     )
 )
 

@@ -132,7 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("--start", type=int, default=0,
                      help="first scenario index (parallel sharding)")
     run.add_argument("--profile", default="mixed",
-                     choices=("mixed", "eth-backup", "net-stress"),
+                     choices=("mixed", "eth-backup", "net-stress", "rack"),
                      help="scenario space to draw from")
     run.add_argument("--out", default="fuzz-failures",
                      help="directory for replay files (default fuzz-failures)")

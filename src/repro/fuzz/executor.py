@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 from ..analysis.verdicts import observe
 from ..core.pin_down_cache import PinDownCache
 from ..host.host import EthernetHost
-from ..host.ib import ib_pair
+from ..host.ib import ib_pair, ib_rack
 from ..net.fabric import connect_back_to_back
 from ..net.packet import Packet
 from ..nic.ethernet import RxMode
@@ -323,7 +323,18 @@ def _eth_invalidate(sc, server, u, heap, spec, op) -> float:
 def _run_ib(sc: Scenario, trace: Trace) -> None:
     env = Environment()
     budget = _FLUSH_BUDGET_DEGRADED if sc.degraded else _FLUSH_BUDGET
-    a, b = ib_pair(env, memory_bytes=sc.memory_mb * MB)  # a=client, b=server
+    topo = None
+    if sc.n_senders > 0:
+        # Rack axis: N sender hosts star-wired into one receiver port,
+        # optional random loss on the congested downlink.
+        senders, b, topo = ib_rack(env, sc.n_senders,
+                                   memory_bytes=sc.memory_mb * MB,
+                                   loss_rate=sc.loss_pct / 100.0,
+                                   loss_seed=sc.seed)
+    else:
+        a, b = ib_pair(env, memory_bytes=sc.memory_mb * MB)  # a=client
+        senders = [a]
+    lossy = sc.loss_pct > 0.0
     injector = None
     if sc.mode == "npf":
         injector = _make_injector(sc)
@@ -331,6 +342,7 @@ def _run_ib(sc: Scenario, trace: Trace) -> None:
 
     chans = []
     for i, spec in enumerate(sc.channels):
+        a = senders[i % len(senders)]
         sspace = b.memory.create_space(f"srv{i}")
         sregion = sspace.mmap(spec.heap_pages * PAGE_SIZE, name=f"srv{i}")
         if sc.mode == "npf":
@@ -345,9 +357,13 @@ def _run_ib(sc: Scenario, trace: Trace) -> None:
         ch = {"spec": spec, "sregion": sregion, "cregion": cregion,
               "smr": smr, "cmr": cmr, "recv": 0, "msgs": 0, "send_cq_b": 0}
         if spec.kind == "rc":
-            qa = a.nic.create_qp(max_outstanding=spec.max_outstanding)
+            qa = a.nic.create_qp(max_outstanding=spec.max_outstanding,
+                                 retransmit=sc.retransmit,
+                                 loss_recovery=lossy)
             qb = b.nic.create_qp(max_outstanding=spec.max_outstanding,
-                                 rnr_for_reads=spec.rnr_for_reads)
+                                 rnr_for_reads=spec.rnr_for_reads,
+                                 retransmit=sc.retransmit,
+                                 loss_recovery=lossy)
             qa.connect(qb)
             if sc.faults.rnr_limit > 0:
                 qa.MAX_RNR_RETRIES = sc.faults.rnr_limit
@@ -479,6 +495,11 @@ def _run_ib(sc: Scenario, trace: Trace) -> None:
             trace.counts[f"ud{i}.received"] = eb.received
             trace.meta[f"ud{i}.dropped_rnpf"] = eb.dropped_rnpf
             trace.meta[f"ud{i}.dropped_no_buffer"] = eb.dropped_no_buffer
+    if topo is not None:
+        trace.meta["rack.downlink_lost"] = topo.link("sw0", "recv").lost_packets
+        trace.meta["rack.retransmits"] = sum(
+            ch["qa"].retransmits + ch["qb"].retransmits
+            for ch in chans if ch["spec"].kind == "rc")
     _common_meta(trace, env, b.memory, injector)
 
 

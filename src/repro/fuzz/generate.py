@@ -31,7 +31,9 @@ def generate_scenario(index: int, master_seed: int, profile: str = "mixed") -> S
     must be differentially lossless.  "net-stress" hammers the burst
     datapath: long back-to-back trains (``gap_us=0``) over big rings
     with random 802.3x PAUSE injection on the ingress link, checked
-    differentially against static pinning.
+    differentially against static pinning.  "rack" exercises the
+    topology axis: multi-sender stars through one switch port with
+    optional downlink loss and RC loss recovery (gbn / irn).
     """
     seed = derive_seed(master_seed, "scenario", index)
     rng = Rng(seed, name=f"fuzz-{index}")
@@ -39,6 +41,8 @@ def generate_scenario(index: int, master_seed: int, profile: str = "mixed") -> S
         return _eth_scenario(rng, seed, degraded=False, force_npf=True)
     if profile == "net-stress":
         return _net_stress_scenario(rng, seed)
+    if profile == "rack":
+        return _rack_scenario(rng, seed)
     if profile != "mixed":
         raise ValueError(f"unknown profile {profile!r}")
     degraded = rng.bernoulli(_DEGRADED_P)
@@ -199,6 +203,63 @@ def _net_stress_scenario(rng: Rng, seed: int) -> Scenario:
     for _ in range(rng.randint(1, 3)):
         ops.append(Op(kind="pause", channel=-1,
                       ms=round(rng.uniform(0.001, 0.05), 4)))
+    _ensure_traffic(ops, rng, channels)
+    # The shuffle decides the cross-channel interleaving; each channel's
+    # subsequence still replays in list order.
+    rng.shuffle(ops)
+    sc.ops = ops
+    return sc
+
+
+def _rack_scenario(rng: Rng, seed: int) -> Scenario:
+    """Topology axis: a multi-sender star with optional downlink loss.
+
+    N sender hosts each drive one RC channel into a single receiver
+    behind one switch port (``ib_rack``); a third of the scenarios add
+    random loss on the downlink, which turns on RC loss recovery
+    (go-back-N or IRN, drawn per scenario).  Like ``net-stress``, every
+    draw is profile-local, so adding this profile never shifts what the
+    other profiles generate for the same campaign seed.
+    """
+    n_senders = rng.randint(2, 4)
+    channels = [
+        ChannelSpec(
+            kind="rc",
+            heap_pages=rng.randint(16, 48),
+            max_outstanding=rng.choice((4, 8)),
+        )
+        for _ in range(n_senders)
+    ]
+    mode = "npf" if rng.bernoulli(0.7) else "static"
+    loss_pct = rng.choice((0.0, 0.5, 1.0))
+    sc = Scenario(
+        seed=seed,
+        fabric="ib",
+        mode=mode,
+        memory_mb=rng.choice((16, 32)),
+        n_senders=n_senders,
+        loss_pct=loss_pct,
+        retransmit=rng.choice(("gbn", "irn")) if loss_pct > 0 else "gbn",
+        channels=channels,
+    )
+    ops = []
+    for i, spec in enumerate(channels):
+        for _ in range(rng.randint(2, 3)):
+            roll = rng.random()
+            if roll < 0.70:
+                ops.append(Op(
+                    kind="ib_send", channel=i,
+                    count=rng.randint(1, 2 * spec.max_outstanding),
+                    size=rng.randint(256, 8192),
+                    gap_us=round(rng.uniform(0.0, 5.0), 2),
+                ))
+            elif roll < 0.85 and mode == "npf":
+                ops.append(Op(kind="invalidate", channel=i, target="heap",
+                              pages=rng.randint(1, 4),
+                              offset=rng.randint(0, 8)))
+            else:
+                ops.append(Op(kind="settle", channel=i,
+                              ms=round(rng.uniform(0.1, 0.5), 2)))
     _ensure_traffic(ops, rng, channels)
     # The shuffle decides the cross-channel interleaving; each channel's
     # subsequence still replays in list order.

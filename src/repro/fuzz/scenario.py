@@ -85,6 +85,13 @@ class Scenario:
     seed: int = 0
     fabric: str = "eth"        # "eth" | "ib"
     mode: str = "npf"          # "static" | "pdc" | "npf"
+    #: topology axis (ib only): 0 = back-to-back pair (legacy), N > 0 =
+    #: N-sender star through one switch port (the rack fabric).
+    n_senders: int = 0
+    #: random loss on the congested switch->receiver downlink (percent);
+    #: > 0 enables RC loss recovery on every QP.
+    loss_pct: float = 0.0
+    retransmit: str = "gbn"    # rc loss recovery: "gbn" | "irn"
     rx_policy: str = "backup"  # eth npf channels: "backup" | "drop"
     coalesce_faults: bool = False
     swap_burst: bool = False
@@ -109,6 +116,12 @@ class Scenario:
         faulting burst may overflow.
         """
         if self.faults.active():
+            return True
+        if self.loss_pct > 0.0:
+            # Loss recovery makes RC reliable again, but the loss RNG
+            # draws at delivery time: the NPF run and the oracle see
+            # different packet interleavings, so different drop
+            # patterns — timing-adjacent counters may not match.
             return True
         if self.fabric == "eth" and self.mode == "npf":
             if self.rx_policy == "drop":

@@ -5,6 +5,13 @@ Endpoints are any objects exposing ``name`` (str) and ``receive(packet)``.
 servers, NICs cabled directly); :func:`star` reproduces the InfiniBand
 cluster (eight servers through one SwitchX-2).
 
+Both are now thin facades over the declarative builder in
+:mod:`repro.net.topology` — they construct a :class:`TopologySpec` for
+their fixed shape and return the built pieces under the original
+signatures, so the two historical call shapes and the rack-scale specs
+share one wiring/validation/routing path.  Wiring order, link names and
+upstream registration are exactly what the hand-wired versions produced.
+
 With the burst-mode datapath (see :mod:`repro.net.link`), a back-to-back
 burst entering either topology is committed as one serialization train
 per link hop; senders that already hold a batch should prefer
@@ -20,6 +27,7 @@ from ..sim.engine import Environment
 from .link import Link
 from .packet import Packet
 from .switch import Switch
+from .topology import Edge, LinkSpec, SwitchSpec, TopologySpec
 
 __all__ = ["Endpoint", "connect_back_to_back", "star"]
 
@@ -46,16 +54,15 @@ def connect_back_to_back(
     ``rate_b_to_a`` allows asymmetric NICs, like the paper's 12 Gb/s
     NPF prototype server facing a 40 Gb/s stock client.
     """
-    ab = Link(env, rate_bps, propagation_delay, name=f"{a.name}->{b.name}")
-    ba = Link(
-        env,
-        rate_b_to_a if rate_b_to_a is not None else rate_bps,
-        propagation_delay,
-        name=f"{b.name}->{a.name}",
+    spec = TopologySpec(
+        hosts=(a.name, b.name),
+        edges=(Edge(a.name, b.name,
+                    LinkSpec(rate_bps=rate_bps,
+                             propagation_delay=propagation_delay,
+                             reverse_rate_bps=rate_b_to_a)),),
     )
-    ab.connect(b.receive)
-    ba.connect(a.receive)
-    return ab, ba
+    topo = spec.build(env, (a, b))
+    return topo.link(a.name, b.name), topo.link(b.name, a.name)
 
 
 def star(
@@ -71,19 +78,18 @@ def star(
     egress link per endpoint.  Upstream registration enables congestion-
     spreading experiments.
     """
-    switch = Switch(env, flow_control=flow_control)
-    uplinks: Dict[str, Link] = {}
     endpoint_list = list(endpoints)
-    for ep in endpoint_list:
-        uplink = Link(env, rate_bps, propagation_delay, name=f"{ep.name}->sw")
-        uplink.connect(switch.receive)
-        uplinks[ep.name] = uplink
-        downlink = Link(env, rate_bps, propagation_delay, name=f"sw->{ep.name}")
-        downlink.connect(ep.receive)
-        switch.attach(ep.name, downlink)
-    # Every uplink potentially feeds every destination.
-    for ep in endpoint_list:
-        for other in endpoint_list:
-            if other is not ep:
-                switch.register_upstream(other.name, uplinks[ep.name])
+    spec = TopologySpec(
+        hosts=tuple(ep.name for ep in endpoint_list),
+        switches=(SwitchSpec("sw", flow_control=flow_control),),
+        edges=tuple(
+            Edge(ep.name, "sw",
+                 LinkSpec(rate_bps=rate_bps,
+                          propagation_delay=propagation_delay))
+            for ep in endpoint_list
+        ),
+    )
+    topo = spec.build(env, endpoint_list)
+    switch = topo.switches["sw"]
+    uplinks = {ep.name: topo.link(ep.name, "sw") for ep in endpoint_list}
     return switch, uplinks

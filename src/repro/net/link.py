@@ -56,6 +56,7 @@ from collections import deque
 from typing import Callable, Deque, List, Optional
 
 from ..sim.engine import Environment
+from ..sim.rng import Rng, derive_seed
 from ..sim.units import transfer_time
 from .packet import Packet
 
@@ -91,6 +92,14 @@ class _Train:
         if idx >= len(self.ends):
             return  # cancelled by a PAUSE split after scheduling
         link = self.link
+        if link.loss_rate:
+            # Seeded random loss, decided at delivery time: a lost packet
+            # still burned its wire time (the cable corrupted it, the far
+            # end dropped it on CRC).  The guard keeps the zero-loss
+            # default free of RNG draws.
+            if link._loss_rng.random() < link.loss_rate:
+                link.lost_packets += 1
+                return
         receiver = link._receiver
         if receiver is None:
             raise RuntimeError(f"link {link.name!r} delivered into the void")
@@ -103,7 +112,7 @@ class Link:
     __slots__ = ("env", "rate_bps", "propagation_delay", "buffer_packets",
                  "name", "_receiver", "_pending", "_train", "_held",
                  "_paused", "_sent_p", "_sent_b", "dropped_packets",
-                 "_done_cb")
+                 "_done_cb", "loss_rate", "_loss_rng", "lost_packets")
 
     def __init__(
         self,
@@ -112,16 +121,27 @@ class Link:
         propagation_delay: float = 1e-6,
         buffer_packets: int = 1024,
         name: str = "link",
+        loss_rate: float = 0.0,
+        loss_rng: Optional[Rng] = None,
     ):
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         if propagation_delay < 0:
             raise ValueError("propagation delay must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate!r}")
         self.env = env
         self.rate_bps = rate_bps
         self.propagation_delay = propagation_delay
         self.buffer_packets = buffer_packets
         self.name = name
+        #: per-delivery random-loss probability (0.0 = reliable cable; the
+        #: RNG is only consulted — indeed only created — when nonzero)
+        self.loss_rate = loss_rate
+        self._loss_rng = (loss_rng or Rng(derive_seed(0, "loss", name),
+                                          name=f"loss:{name}")
+                          if loss_rate > 0.0 else loss_rng)
+        self.lost_packets = 0
         self._receiver: Optional[Receiver] = None
         #: accepted, not yet committed into a train
         self._pending: Deque[Packet] = deque()

@@ -41,6 +41,8 @@ class Packet:
     #: IOchannel (virtual NIC instance) the packet is steered to
     channel: str = ""
     payload: Any = None
+    #: PFC traffic class (802.1p priority) for per-priority PAUSE
+    priority: int = 0
     pid: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:

@@ -19,6 +19,32 @@ faithfully is the paper's NPF machinery:
   drop the response, resolve, and *rewind* — re-issue the read after a
   timeout.  This is the protocol gap §4 recommends fixing.
 
+Loss recovery (rack fabrics)
+----------------------------
+
+On the paper's lossless cluster the only packet drops are the RNR
+window, so plain RC sequencing suffices.  The rack-scale lossy fabrics
+(see :mod:`repro.net.topology`) add real drops, recovered by one of two
+per-QP ``retransmit`` disciplines, armed by ``loss_recovery=True``:
+
+* ``"gbn"`` — classic RC go-back-N: an out-of-order arrival is dropped
+  and NACKed once per gap; the sender retransmits *everything* from the
+  missing PSN.  On a lossy fabric this collapses — every drop costs a
+  window's worth of goodput (Mittal et al.'s observation).
+* ``"irn"`` — IRN-style selective repeat: out-of-order arrivals are
+  *buffered* (bounded by ``irn_bitmap`` slots/bits), the NACK carries a
+  SACK bitmap of what is already held, and the sender retransmits only
+  the holes.  RNR NACKs likewise retransmit just the faulted PSN
+  instead of rewinding the window.
+
+Both modes arm a per-QP retransmission timeout as the backstop for
+tail losses (the dropped packet was the last in flight, so no
+out-of-order arrival ever triggers a NACK).  ACK/completion delivery
+stays out-of-band reliable, as before.  With ``loss_recovery`` left
+off (every pre-rack experiment), none of this machinery schedules a
+single event.
+
+
 Synthetic fault injection (for the paper's §6.4 what-if analysis) is a
 hook on the QP: ``inject_rnpf(message) -> None | "minor" | "major"``.
 Injected faults exercise the same NACK/suspend/rewind paths but draw
@@ -64,6 +90,9 @@ class IbMessage:
     retry: int = 0
     #: packet sequence number — RC delivers strictly in order
     seq: int = -1
+    #: IRN selective-ACK bitmap: bit *i* set means PSN ``seq + 1 + i``
+    #: is already buffered at the receiver (only on "irn-nack" frames)
+    sack: int = 0
 
 
 class QueuePair:
@@ -75,11 +104,23 @@ class QueuePair:
                  "_paused", "_expected_seq", "rnr_nacks_sent",
                  "rnr_retries", "read_rewinds", "read_rnr_nacks",
                  "send_faults", "messages_received", "bytes_received",
-                 "_injected_pending", "MAX_RNR_RETRIES", "_complete_cb")
+                 "_injected_pending", "MAX_RNR_RETRIES", "_complete_cb",
+                 "retransmit", "loss_recovery", "priority", "rto",
+                 "irn_bitmap", "_peer_nic", "_ooo", "_nacked_expected",
+                 "_retx_marked", "_rnr_pending", "_rto_armed",
+                 "_rto_oldest", "gbn_nacks_sent", "irn_nacks_sent",
+                 "retransmits", "rto_fires", "ooo_buffered",
+                 "ooo_dropped", "_rto_cb")
 
     def __init__(self, nic: "InfiniBandNic", send_cq: CompletionQueue,
                  recv_cq: CompletionQueue, max_outstanding: int = 8,
-                 rnr_for_reads: bool = False):
+                 rnr_for_reads: bool = False, retransmit: str = "gbn",
+                 loss_recovery: bool = False, priority: int = 0,
+                 rto: Optional[float] = None, irn_bitmap: int = 64):
+        if retransmit not in ("gbn", "irn"):
+            raise ValueError(f"unknown retransmit mode {retransmit!r}")
+        if irn_bitmap <= 0:
+            raise ValueError("irn_bitmap must be positive")
         self.nic = nic
         self.env = nic.env
         self.qp_id = next(_qp_ids)
@@ -114,12 +155,34 @@ class QueuePair:
         self._injected_pending: Dict[int, float] = {}  # wr_id -> ready time
         #: pre-bound ACK-delivery callback (see :meth:`_ack`)
         self._complete_cb = self._complete_send_event
+        # Loss-recovery state (all inert while loss_recovery is off).
+        self.retransmit = retransmit
+        self.loss_recovery = loss_recovery
+        self.priority = priority
+        self.rto = rto if rto is not None else 3e-3
+        self.irn_bitmap = irn_bitmap
+        self._peer_nic = ""            # far-end NIC name, set by connect()
+        self._ooo: Dict[int, IbMessage] = {}  # IRN receive buffer, seq -> msg
+        self._nacked_expected = -1     # GBN: the gap we already NACKed
+        self._retx_marked: set = set()  # IRN: seqs retransmitted, unACKed
+        self._rnr_pending: set = set()  # IRN: seqs with an RNR retx queued
+        self._rto_armed = False
+        self._rto_oldest = -1
+        self.gbn_nacks_sent = 0
+        self.irn_nacks_sent = 0
+        self.retransmits = 0
+        self.rto_fires = 0
+        self.ooo_buffered = 0
+        self.ooo_dropped = 0
+        self._rto_cb = self._rto_fire
         self.env.process(self._sender(), name=f"qp{self.qp_id}-send")
 
     # -- wiring -------------------------------------------------------------
     def connect(self, remote: "QueuePair") -> None:
         self.remote = remote
         remote.remote = self
+        self._peer_nic = remote.nic.name
+        remote._peer_nic = self.nic.name
 
     @property
     def name(self) -> str:
@@ -149,13 +212,17 @@ class QueuePair:
                 local_addr=wr.local_addr,
             )
             if wr.opcode is Opcode.RDMA_READ:
-                self.nic.transmit_control(message)
+                self.nic.transmit_control(message, dst=self._peer_nic,
+                                          priority=self.priority)
             else:
                 message.seq = self._next_seq
                 self._next_seq += 1
                 self._inflight[message.seq] = message
                 if not self._paused:
-                    self.nic.transmit_data(message)
+                    self.nic.transmit_data(message, dst=self._peer_nic,
+                                           priority=self.priority)
+                    if self.loss_recovery:
+                        self._ensure_rto()
                 # While paused (RNR rewind in progress) the message just
                 # joins the inflight window; the rewind will transmit it.
 
@@ -177,6 +244,9 @@ class QueuePair:
             if message.seq not in self._inflight:
                 return  # duplicate ACK for an already-completed PSN
             del self._inflight[message.seq]
+            if self.loss_recovery:
+                self._retx_marked.discard(message.seq)
+                self._rnr_pending.discard(message.seq)
         self._window.release()
         self.send_cq.push(Wc(message.wr_id, message.opcode, message.length, status))
 
@@ -192,6 +262,15 @@ class QueuePair:
             _hooks.active.on_rnr_retry(self, message)
         if message.retry > self.MAX_RNR_RETRIES:
             self._complete_send(message, WcStatus.RNR_RETRY_EXCEEDED)
+            return
+        if self.retransmit == "irn":
+            # Selective repeat: back off, then resend only the faulted
+            # PSN — the rest of the window keeps flowing meanwhile.
+            if nack.seq in self._rnr_pending:
+                return
+            self._rnr_pending.add(nack.seq)
+            self.env.process(self._irn_rnr_retransmit(nack.seq, message.retry),
+                             name=f"{self.name}-rnr")
             return
         if self._paused:
             return  # a rewind is already pending
@@ -209,7 +288,111 @@ class QueuePair:
         self._paused = False
         for s in sorted(self._inflight):
             if s >= seq:
-                self.nic.transmit_data(self._inflight[s])
+                self.nic.transmit_data(self._inflight[s], dst=self._peer_nic,
+                                       priority=self.priority)
+        if self.loss_recovery:
+            self._ensure_rto()
+
+    def _irn_rnr_retransmit(self, seq: int, retry: int):
+        backoff = min(
+            self.nic.costs.rnr_timer * (2 ** min(retry - 1, 6)), 0.010
+        )
+        yield self.env.timeout(backoff)
+        self._rnr_pending.discard(seq)
+        message = self._inflight.get(seq)
+        if message is not None:
+            self.nic.transmit_data(message, dst=self._peer_nic,
+                                   priority=self.priority)
+            if self.loss_recovery:
+                self._ensure_rto()
+
+    # -- loss recovery (rack fabrics; inert with loss_recovery off) ----------
+    def handle_gbn_nack(self, nack: IbMessage) -> None:
+        """Receiver saw a PSN gap: go-back-N from the missing PSN."""
+        if self._paused:
+            return  # the RNR rewind will resend the window anyway
+        if self._inflight.get(nack.seq) is None:
+            return  # stale: that PSN has since been ACKed
+        count = 0
+        for s in sorted(self._inflight):
+            if s >= nack.seq:
+                self.nic.transmit_data(self._inflight[s], dst=self._peer_nic,
+                                       priority=self.priority)
+                count += 1
+        self.retransmits += count
+        self._ensure_rto()
+
+    def handle_irn_nack(self, nack: IbMessage) -> None:
+        """Receiver's SACK: retransmit only the holes it reports.
+
+        ``nack.seq`` is the first missing PSN; sack bit *i* covers PSN
+        ``seq + 1 + i``.  PSNs beyond the bitmap's reach are treated as
+        covered — the RTO (or a later NACK) picks them up rather than
+        risking a spurious full-window storm.
+        """
+        base = nack.seq
+        sack = nack.sack
+        sent = 0
+        for s in sorted(self._inflight):
+            if s < base:
+                continue
+            off = s - base
+            if off == 0:
+                covered = False
+            elif off - 1 < self.irn_bitmap:
+                covered = bool((sack >> (off - 1)) & 1)
+            else:
+                covered = True
+            if covered or s in self._retx_marked or s in self._rnr_pending:
+                continue
+            self._retx_marked.add(s)
+            self.nic.transmit_data(self._inflight[s], dst=self._peer_nic,
+                                   priority=self.priority)
+            sent += 1
+        self.retransmits += sent
+        self._ensure_rto()
+
+    def _ensure_rto(self) -> None:
+        """Arm the retransmission-timeout backstop (one timer per QP).
+
+        The engine has no event cancel, so the timer is a repeating
+        check: on fire it re-arms while data is in flight, retransmits
+        only if the oldest unACKed PSN made no progress since arming.
+        """
+        if not self.loss_recovery or self._rto_armed:
+            return
+        if not self._inflight:
+            return
+        self._rto_armed = True
+        self._rto_oldest = min(self._inflight)
+        self.env.at(self.env.now + self.rto, self._rto_cb, None)
+
+    def _rto_fire(self, event) -> None:
+        self._rto_armed = False
+        if not self._inflight:
+            return
+        oldest = min(self._inflight)
+        if oldest > self._rto_oldest or self._paused:
+            # The window moved (or an RNR rewind owns retransmission):
+            # just keep watching.
+            self._ensure_rto()
+            return
+        self.rto_fires += 1
+        self._retx_marked.clear()
+        if self.retransmit == "irn":
+            self.nic.transmit_data(self._inflight[oldest],
+                                   dst=self._peer_nic,
+                                   priority=self.priority)
+            self.retransmits += 1
+        else:
+            count = 0
+            for s in sorted(self._inflight):
+                self.nic.transmit_data(self._inflight[s],
+                                       dst=self._peer_nic,
+                                       priority=self.priority)
+                count += 1
+            self.retransmits += count
+        self._ensure_rto()
 
     # -- receive path (called by the NIC on message arrival) -----------------------------
     def receive(self, message: IbMessage) -> None:
@@ -226,17 +409,74 @@ class QueuePair:
         A message past the expected PSN arrived while an older one is
         being NACKed/resolved: it is dropped on the floor — the paper's
         "some data is still dropped — until the RNR NACK arrives" — and
-        the sender's go-back-N rewind will resend it in order.
+        the sender's go-back-N rewind will resend it in order.  With
+        ``loss_recovery`` armed the gap is NACKed instead (and, in IRN
+        mode, the message is buffered for later in-order delivery).
         """
         if message.seq < self._expected_seq:
             self._ack(message)  # duplicate of delivered data: re-ACK
             return
         if message.seq > self._expected_seq:
+            self._handle_ooo(message)
             return
+        before = self._expected_seq
+        self._deliver_in_order(message)
+        if self._expected_seq != before:
+            self._nacked_expected = -1
+            if self._ooo:
+                self._drain_ooo()
+
+    def _deliver_in_order(self, message: IbMessage) -> None:
         if message.opcode is Opcode.SEND:
             self._receive_send(message)
         else:
             self._receive_rdma_write(message)
+
+    def _handle_ooo(self, message: IbMessage) -> None:
+        """A PSN gap: something before this message was dropped."""
+        if not self.loss_recovery:
+            return  # the paper's RNR window: drop; the rewind resends
+        if self.retransmit == "irn":
+            gap = message.seq - self._expected_seq
+            if gap - 1 < self.irn_bitmap and len(self._ooo) < self.irn_bitmap:
+                if message.seq not in self._ooo:
+                    self._ooo[message.seq] = message
+                    self.ooo_buffered += 1
+            else:
+                self.ooo_dropped += 1  # beyond the bitmap's reach
+            self._send_loss_nack("irn-nack", message)
+            return
+        self.ooo_dropped += 1
+        if self._nacked_expected != self._expected_seq:
+            # NACK once per gap; the sender's RTO covers a lost NACK
+            # or a lost retransmission.
+            self._nacked_expected = self._expected_seq
+            self._send_loss_nack("gbn-nack", message)
+
+    def _drain_ooo(self) -> None:
+        """Deliver buffered out-of-order messages that are now in order."""
+        while True:
+            message = self._ooo.pop(self._expected_seq, None)
+            if message is None:
+                return
+            before = self._expected_seq
+            self._deliver_in_order(message)
+            if self._expected_seq == before:
+                return  # faulted (RNR NACKed); that PSN will be resent
+
+    def _send_loss_nack(self, kind: str, message: IbMessage) -> None:
+        sack = 0
+        if kind == "irn-nack":
+            base = self._expected_seq
+            for s in self._ooo:
+                off = s - base - 1
+                if 0 <= off < self.irn_bitmap:
+                    sack |= 1 << off
+            self.irn_nacks_sent += 1
+        else:
+            self.gbn_nacks_sent += 1
+        self.nic.transmit_loss_nack(kind, self._expected_seq, message,
+                                    sack, to_peer_of=self)
 
     def _receive_send(self, message: IbMessage) -> None:
         recv_wr = self._recv_queue.peek()
@@ -291,7 +531,8 @@ class QueuePair:
             is_read_response=True, retry=message.retry,
         )
         # Response flows back over our own data path.
-        self.nic.transmit_data(response, to_peer_of=self)
+        self.nic.transmit_data(response, to_peer_of=self,
+                               dst=self._peer_nic, priority=self.priority)
 
     def _receive_read_response(self, message: IbMessage) -> None:
         """Initiator side: response data lands in *our* memory — it can fault.
@@ -341,7 +582,8 @@ class QueuePair:
             remote_addr=message.remote_addr, local_addr=message.local_addr,
             retry=message.retry + 1,
         )
-        self.nic.transmit_control(request)
+        self.nic.transmit_control(request, dst=self._peer_nic,
+                                  priority=self.priority)
 
     def _rewind_read(self, message: IbMessage, addr: int, mr, fault: str):
         # Resolve the fault, then re-issue the read after the rewind timeout.
@@ -355,7 +597,8 @@ class QueuePair:
             remote_addr=message.remote_addr, local_addr=message.local_addr,
             retry=message.retry,
         )
-        self.nic.transmit_control(request)
+        self.nic.transmit_control(request, dst=self._peer_nic,
+                                  priority=self.priority)
 
     # -- fault plumbing -----------------------------------------------------------------
     def _incoming_fault(self, message: IbMessage, addr: int, mr,
@@ -462,13 +705,23 @@ class InfiniBandNic:
     def create_qp(self, send_cq: Optional[CompletionQueue] = None,
                   recv_cq: Optional[CompletionQueue] = None,
                   max_outstanding: int = 8,
-                  rnr_for_reads: bool = False) -> QueuePair:
+                  rnr_for_reads: bool = False,
+                  retransmit: str = "gbn",
+                  loss_recovery: bool = False,
+                  priority: int = 0,
+                  rto: Optional[float] = None,
+                  irn_bitmap: int = 64) -> QueuePair:
         qp = QueuePair(
             self,
             send_cq or CompletionQueue(self.env),
             recv_cq or CompletionQueue(self.env),
             max_outstanding=max_outstanding,
             rnr_for_reads=rnr_for_reads,
+            retransmit=retransmit,
+            loss_recovery=loss_recovery,
+            priority=priority,
+            rto=rto,
+            irn_bitmap=irn_bitmap,
         )
         self._qps[qp.qp_id] = qp
         return qp
@@ -488,12 +741,16 @@ class InfiniBandNic:
         return None
 
     # -- wire I/O ------------------------------------------------------------------
-    def transmit_data(self, message: IbMessage, to_peer_of: Optional[QueuePair] = None) -> None:
+    def transmit_data(self, message: IbMessage,
+                      to_peer_of: Optional[QueuePair] = None,
+                      dst: str = "", priority: int = 0) -> None:
         wire_bytes = int(message.length / self.efficiency) + IB_HEADER
-        self._send_packet(message, wire_bytes)
+        self._send_packet(message, wire_bytes, dst, priority)
 
-    def transmit_control(self, message: IbMessage, to_peer_of: Optional[QueuePair] = None) -> None:
-        self._send_packet(message, IB_HEADER)
+    def transmit_control(self, message: IbMessage,
+                         to_peer_of: Optional[QueuePair] = None,
+                         dst: str = "", priority: int = 0) -> None:
+        self._send_packet(message, IB_HEADER, dst, priority)
 
     def transmit_nack(self, message: IbMessage, to_peer_of: QueuePair) -> None:
         nack = IbMessage(
@@ -503,19 +760,39 @@ class InfiniBandNic:
             seq=message.seq,
         )
         packet = Packet(
-            src=self.name, dst="", size=IB_HEADER, kind="rnr-nack",
-            flow=f"qp{nack.qp_id}", payload=nack,
+            src=self.name, dst=to_peer_of._peer_nic, size=IB_HEADER,
+            kind="rnr-nack", flow=f"qp{nack.qp_id}", payload=nack,
+            priority=to_peer_of.priority,
         )
         if self.link is None:
             raise RuntimeError("IB NIC has no attached link")
         self.link.send(packet)
 
-    def _send_packet(self, message: IbMessage, wire_bytes: int) -> None:
+    def transmit_loss_nack(self, kind: str, expected_seq: int,
+                           message: IbMessage, sack: int,
+                           to_peer_of: QueuePair) -> None:
+        """A gbn/irn NACK for the first missing PSN (``expected_seq``)."""
+        nack = IbMessage(
+            qp_id=to_peer_of.remote.qp_id, opcode=message.opcode,
+            length=message.length, wr_id=message.wr_id,
+            seq=expected_seq, sack=sack,
+        )
+        packet = Packet(
+            src=self.name, dst=to_peer_of._peer_nic, size=IB_HEADER,
+            kind=kind, flow=f"qp{nack.qp_id}", payload=nack,
+            priority=to_peer_of.priority,
+        )
+        if self.link is None:
+            raise RuntimeError("IB NIC has no attached link")
+        self.link.send(packet)
+
+    def _send_packet(self, message: IbMessage, wire_bytes: int,
+                     dst: str = "", priority: int = 0) -> None:
         if self.link is None:
             raise RuntimeError("IB NIC has no attached link")
         packet = Packet(
-            src=self.name, dst="", size=max(wire_bytes, 1), kind="ib",
-            flow=f"qp{message.qp_id}", payload=message,
+            src=self.name, dst=dst, size=max(wire_bytes, 1), kind="ib",
+            flow=f"qp{message.qp_id}", payload=message, priority=priority,
         )
         self.link.send(packet)
 
@@ -531,5 +808,9 @@ class InfiniBandNic:
             return
         if packet.kind == "rnr-nack":
             qp.handle_rnr_nack(message)
+        elif packet.kind == "gbn-nack":
+            qp.handle_gbn_nack(message)
+        elif packet.kind == "irn-nack":
+            qp.handle_irn_nack(message)
         else:
             qp.receive(message)

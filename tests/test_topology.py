@@ -1,0 +1,219 @@
+"""Property tests for the declarative topology builder.
+
+Random valid fabrics (a tree of switches with hosts leafed on) must
+route every host pair, respect declared port/oversubscription budgets
+and build byte-identically from the same spec; structurally defective
+specs must be rejected before anything is instantiated.
+"""
+
+import pytest
+
+from repro.net import (Edge, LinkSpec, PfcConfig, SwitchSpec, TopologyError,
+                       TopologySpec, rack_spec)
+from repro.net.packet import Packet
+from repro.sim.engine import Environment
+from repro.sim.rng import Rng
+
+PROPERTY_SEEDS = range(20)
+
+
+class _Sink:
+    """A named endpoint that records what it receives."""
+
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def _random_spec(rng: Rng) -> TopologySpec:
+    """A random valid fabric: a switch tree, hosts leafed onto it."""
+    n_switches = rng.randint(1, 3)
+    switches = tuple(SwitchSpec(f"sw{i}") for i in range(n_switches))
+    edges = []
+    for i in range(1, n_switches):
+        parent = rng.randint(0, i - 1)
+        edges.append(Edge(f"sw{parent}", f"sw{i}", LinkSpec(rate_bps=10e9)))
+    hosts = tuple(f"h{i}" for i in range(rng.randint(2, 6)))
+    for host in hosts:
+        home = rng.randint(0, n_switches - 1)
+        edges.append(Edge(host, f"sw{home}", LinkSpec(rate_bps=10e9)))
+    return TopologySpec(hosts=hosts, switches=switches, edges=tuple(edges))
+
+
+def _build(spec: TopologySpec):
+    env = Environment()
+    sinks = [_Sink(h) for h in spec.hosts]
+    return env, sinks, spec.build(env, sinks)
+
+
+def _edge_set(spec: TopologySpec):
+    out = set()
+    for edge in spec.edges:
+        out.add((edge.a, edge.b))
+        out.add((edge.b, edge.a))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Routability
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+def test_random_topologies_route_every_host_pair(seed):
+    spec = _random_spec(Rng(seed, name="topo"))
+    spec.validate()
+    env, sinks, topo = _build(spec)
+    edges = _edge_set(spec)
+    for src in spec.hosts:
+        for dst in spec.hosts:
+            if src == dst:
+                continue
+            hops = topo.path(src, dst)
+            assert hops[0] == src and hops[-1] == dst
+            for a, b in zip(hops, hops[1:]):
+                assert (a, b) in edges, f"{a}->{b} is not a declared cable"
+            # No revisits: a valid route never loops.
+            assert len(set(hops)) == len(hops)
+
+
+@pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+def test_random_topologies_deliver_end_to_end(seed):
+    """One packet per host pair actually traverses the built fabric."""
+    spec = _random_spec(Rng(seed, name="topo"))
+    env, sinks, topo = _build(spec)
+    by_name = {s.name: s for s in sinks}
+    expected = {h: [] for h in spec.hosts}
+    for src in spec.hosts:
+        for dst in spec.hosts:
+            if src == dst:
+                continue
+            first_hop = spec.neighbor_of_host(src, dst)
+            topo.link(src, first_hop).send(
+                Packet(src=src, dst=dst, size=256, kind="probe"))
+            expected[dst].append(src)
+    env.run()
+    for dst in spec.hosts:
+        got = sorted(p.src for p in by_name[dst].received)
+        assert got == sorted(expected[dst]), f"losses delivering to {dst}"
+
+
+# ---------------------------------------------------------------------------
+# Budgets
+# ---------------------------------------------------------------------------
+
+def test_port_budget_rejected_when_exceeded():
+    spec = TopologySpec(
+        hosts=("h0", "h1", "h2"),
+        switches=(SwitchSpec("sw0", ports=2),),
+        edges=tuple(Edge(h, "sw0", LinkSpec(rate_bps=1e9))
+                    for h in ("h0", "h1", "h2")),
+    )
+    with pytest.raises(TopologyError, match="port budget"):
+        spec.validate()
+
+
+def test_port_budget_satisfied_passes():
+    spec = TopologySpec(
+        hosts=("h0", "h1"),
+        switches=(SwitchSpec("sw0", ports=2),),
+        edges=(Edge("h0", "sw0", LinkSpec(rate_bps=1e9)),
+               Edge("h1", "sw0", LinkSpec(rate_bps=1e9))),
+    )
+    spec.validate()
+
+
+def test_oversubscription_ceiling_enforced():
+    # Three 10G senders into one 10G downlink is 3:1; declaring 2:1 lies.
+    edges = [Edge(f"s{i}", "sw0", LinkSpec(rate_bps=10e9)) for i in range(3)]
+    edges.append(Edge("sw0", "recv", LinkSpec(rate_bps=10e9)))
+    spec = TopologySpec(
+        hosts=("s0", "s1", "s2", "recv"),
+        switches=(SwitchSpec("sw0", oversubscription=2.0),),
+        edges=tuple(edges),
+    )
+    with pytest.raises(TopologyError, match="oversubscribed"):
+        spec.validate()
+
+
+def test_rack_spec_declares_its_own_contention():
+    # rack_spec states oversubscription = N and must pass its own check.
+    for n in (1, 2, 8, 16):
+        rack_spec(n).validate()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic construction
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", PROPERTY_SEEDS)
+def test_same_spec_builds_identical_wiring(seed):
+    spec = _random_spec(Rng(seed, name="topo"))
+    _, _, topo_a = _build(spec)
+    _, _, topo_b = _build(spec)
+    assert topo_a.wiring() == topo_b.wiring()
+    assert list(topo_a.links) == list(topo_b.links)
+    assert topo_a.routes == topo_b.routes
+
+
+def test_rack_spec_pfc_wiring_is_reproducible():
+    spec = rack_spec(4, egress_queue=64, pfc=PfcConfig(xoff=32, xon=8),
+                     loss_rate=0.01)
+    _, _, topo_a = _build(spec)
+    _, _, topo_b = _build(spec)
+    transcript = topo_a.wiring()
+    assert transcript == topo_b.wiring()
+    assert any(line.startswith("pfc-upstream") for line in transcript)
+    assert topo_a.path("s0", "recv") == ["s0", "sw0", "recv"]
+
+
+# ---------------------------------------------------------------------------
+# Validation rejects structural defects
+# ---------------------------------------------------------------------------
+
+def _link():
+    return LinkSpec(rate_bps=1e9)
+
+
+@pytest.mark.parametrize("spec,match", [
+    (TopologySpec(hosts=("a", "a"),
+                  edges=(Edge("a", "a", _link()),)), "duplicate node"),
+    (TopologySpec(hosts=("a",), switches=(SwitchSpec("a"),),
+                  edges=(Edge("a", "a", _link()),)), "duplicate node"),
+    (TopologySpec(hosts=("a", "b"),
+                  edges=(Edge("a", "ghost", _link()),)), "not a declared"),
+    (TopologySpec(hosts=("a", "b"), switches=(SwitchSpec("sw"),),
+                  edges=(Edge("sw", "sw", _link()),)), "self-loop"),
+    (TopologySpec(hosts=("a", "b"),
+                  edges=(Edge("a", "b", _link()),
+                         Edge("b", "a", _link()))), "duplicate edge"),
+    (TopologySpec(hosts=("a", "b"), switches=(SwitchSpec("sw"),),
+                  edges=(Edge("a", "sw", _link()),
+                         Edge("a", "b", _link()))), "multi-homed"),
+    (TopologySpec(hosts=("a", "b"),
+                  edges=(Edge("a", "b", _link()),
+                         Edge("b", "a", _link()))), "duplicate edge"),
+    (TopologySpec(hosts=("a", "b"), switches=(SwitchSpec("sw"),),
+                  edges=(Edge("a", "sw", _link()),)), "no edge"),
+    (TopologySpec(hosts=("a", "b"),
+                  switches=(SwitchSpec("sw", pfc=PfcConfig(xoff=4, xon=1)),),
+                  edges=(Edge("a", "sw", _link()),
+                         Edge("b", "sw", _link()))), "without egress_queue"),
+    (TopologySpec(hosts=("a", "b"),
+                  switches=(SwitchSpec("sw0"), SwitchSpec("sw1")),
+                  edges=(Edge("a", "sw0", _link()),
+                         Edge("b", "sw1", _link()))), "no route"),
+])
+def test_validation_rejects(spec, match):
+    with pytest.raises(TopologyError, match=match):
+        spec.validate()
+
+
+def test_build_requires_every_endpoint():
+    spec = TopologySpec(hosts=("a", "b"),
+                        edges=(Edge("a", "b", _link()),))
+    env = Environment()
+    with pytest.raises(TopologyError, match="no endpoint"):
+        spec.build(env, [_Sink("a")])

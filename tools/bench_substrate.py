@@ -585,6 +585,70 @@ def run_dispatch_gate(quick: bool) -> dict:
     return gate
 
 
+def run_rack_gate(quick: bool) -> dict:
+    """The ``rack_incast`` gate for the rack-scale fabric.
+
+    Runs the opt-out 3x3 incast sweep twice — sequential and through
+    the parallel pool — and checks the claims the experiment exists to
+    make:
+
+    * byte-identity: both legs render the identical JSON (the fabric,
+      PFC scheduler and loss injection are fully deterministic);
+    * retransmit-mode separation, from the static-pinning regime where
+      memory management cannot confound the comparison: under injected
+      loss, go-back-N's full-window resends must cost at least twice
+      the goodput that IRN's selective resends do (``--quick`` runs the
+      reduced 8-sender config, which only sustains the ordering, not
+      the 2x margin).
+    """
+    from repro.experiments.base import results_to_json
+    from repro.experiments.runner import default_jobs, run_experiment
+
+    config = (dict(n_senders=8, messages=80, seed=7) if quick
+              else {})  # full scale: the experiment's committed defaults
+
+    def timed(jobs):
+        t0 = time.perf_counter()
+        result = run_experiment("rack-incast", jobs=jobs, cache=False,
+                                **config)
+        return time.perf_counter() - t0, result
+
+    print(f"  rack_incast: 3x3 sweep, "
+          f"{'8 senders (quick)' if quick else '16 senders'}")
+    sequential_s, seq_result = timed(jobs=1)
+    print(f"  sequential (jobs=1)            {sequential_s:8.1f} s")
+    parallel_s, par_result = timed(jobs=default_jobs())
+    print(f"  parallel (jobs={default_jobs()})             {parallel_s:8.1f} s")
+
+    seq_js = results_to_json([seq_result])
+    identical = seq_js == results_to_json([par_result])
+
+    rows = {(r["net"], r["memory"]): r for r in seq_result.rows}
+    base = rows[("pfc", "static")]["goodput_gbps"]
+    deg = {net: 1.0 - rows[(net, "static")]["goodput_gbps"] / base
+           for net in ("gbn", "irn")}
+    separated = (deg["gbn"] >= deg["irn"] if quick
+                 else deg["gbn"] >= 2.0 * deg["irn"])
+    ok = identical and separated
+    gate = {
+        "quick": quick,
+        "sequential_s": round(sequential_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "goodput_pfc_static_gbps": round(base, 2),
+        "degradation_gbn": round(deg["gbn"], 4),
+        "degradation_irn": round(deg["irn"], 4),
+        "separation_bound": 1.0 if quick else 2.0,
+        "outputs_identical": identical,
+        "ok": ok,
+    }
+    print(f"  static-regime degradation: gbn {deg['gbn']:.1%}, "
+          f"irn {deg['irn']:.1%} (bound {gate['separation_bound']}x), "
+          f"outputs identical: {identical} -> {'ok' if ok else 'FAIL'}")
+    if not ok:
+        print("  ERROR: rack incast gate failed", file=sys.stderr)
+    return gate
+
+
 def check_against_committed(path: Path, results: dict,
                             threshold: float = 0.9) -> int:
     """The ``make bench-quick`` smoke: fail (exit 1) when any gated
@@ -681,6 +745,11 @@ def main(argv=None) -> int:
                         help="run the dispatch_overhead gate for the "
                              "distributed cell engine (loopback worker "
                              "vs in-process; writes BENCH_experiments.json)")
+    parser.add_argument("--rack", action="store_true",
+                        help="run the rack_incast gate (byte-identity plus "
+                             "GBN-vs-IRN goodput separation; with --quick, "
+                             "the reduced 8-sender config; writes "
+                             "BENCH_experiments.json)")
     parser.add_argument("--only", default=None,
                         help="comma-separated benchmark names to run "
                              "(e.g. for a seed checkout that lacks a "
@@ -692,6 +761,29 @@ def main(argv=None) -> int:
                              "below 0.9x its recorded ops/s; the file is "
                              "not rewritten")
     args = parser.parse_args(argv)
+
+    if args.rack:
+        if args.json == parser.get_default("json"):
+            args.json = str(REPO_ROOT / ("BENCH_experiments_quick.json"
+                                         if args.quick
+                                         else "BENCH_experiments.json"))
+        print(f"rack incast gate ({args.label}):")
+        gate = run_rack_gate(args.quick)
+        if args.check:
+            # CI smoke: pass/fail only, never rewrite the committed record.
+            return 0 if gate["ok"] else 1
+        path = Path(args.json)
+        payload = {}
+        if path.exists():
+            payload = json.loads(path.read_text())
+        payload.setdefault("meta", {})[args.label] = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        payload.setdefault("rack_incast", {})[args.label] = gate
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 0 if gate["ok"] else 1
 
     if args.dispatch:
         if args.json == parser.get_default("json"):
